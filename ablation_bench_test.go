@@ -1,0 +1,170 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out beyond
+// the paper's Figure 7: array oversizing (§2.6.1), dgemv fusion
+// (§2.6.1), and function inlining (§2.6.1, evaluated on orbrk and the
+// recursive benchmarks in §3.4).
+package main
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// BenchmarkAblationOversizing measures the paper's ~10% array
+// oversizing policy on the growth-heavy pattern (adapt's dynamically
+// growing interval stack, distilled): with oversizing off, every
+// index-overflow store reallocates.
+func BenchmarkAblationOversizing(b *testing.B) {
+	const src = `
+function s = growloop(n)
+  v = zeros(1, 1);
+  for i = 1:n
+    v(i) = i;
+  end
+  s = v(n);
+end`
+	for _, enabled := range []bool{true, false} {
+		name := "on"
+		if !enabled {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			old := mat.OversizeEnabled
+			mat.OversizeEnabled = enabled
+			defer func() { mat.OversizeEnabled = old }()
+			e := core.New(core.Options{Tier: core.TierJIT, Seed: 1})
+			if err := e.Define(src); err != nil {
+				b.Fatal(err)
+			}
+			arg := []*mat.Value{mat.Scalar(20000)}
+			if _, err := e.Call("growloop", arg, 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Call("growloop", arg, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGEMV measures the dgemv fusion rule on the
+// matvec-heavy solvers (cgopt, qmr).
+func BenchmarkAblationGEMV(b *testing.B) {
+	for _, name := range []string{"cgopt", "qmr"} {
+		bm := bench.ByName(name)
+		for _, disabled := range []bool{false, true} {
+			label := name + "/fused"
+			if disabled {
+				label = name + "/unfused"
+			}
+			b.Run(label, func(b *testing.B) {
+				opts := core.Options{Tier: core.TierFalcon, Seed: 1, DisableGEMV: disabled}
+				e := core.New(opts)
+				if err := e.Define(bm.Source(bench.Medium)); err != nil {
+					b.Fatal(err)
+				}
+				args := bm.Args(bench.Medium)
+				if _, err := e.Call(bm.Fn, args, 1); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Call(bm.Fn, args, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationInlining measures the function inliner on the
+// workloads the paper highlights: orbrk (helper-function-per-step) and
+// the recursive fibonacci.
+func BenchmarkAblationInlining(b *testing.B) {
+	for _, name := range []string{"orbrk", "fibonacci"} {
+		bm := bench.ByName(name)
+		for _, disabled := range []bool{false, true} {
+			label := name + "/inlined"
+			if disabled {
+				label = name + "/calls"
+			}
+			b.Run(label, func(b *testing.B) {
+				opts := core.Options{Tier: core.TierFalcon, Seed: 1, DisableInlining: disabled}
+				e := core.New(opts)
+				if err := e.Define(bm.Source(bench.Small)); err != nil {
+					b.Fatal(err)
+				}
+				args := bm.Args(bench.Small)
+				if _, err := e.Call(bm.Fn, args, 1); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Call(bm.Fn, args, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAblationSwitchesPreserveResults guards the ablation switches the
+// benchmarks above rely on.
+func TestAblationSwitchesPreserveResults(t *testing.T) {
+	bm := bench.ByName("cgopt")
+	ref := runChecksum(t, bm, core.Options{Tier: core.TierInterp})
+	for _, opts := range []core.Options{
+		{Tier: core.TierFalcon, DisableGEMV: true},
+		{Tier: core.TierJIT, DisableInlining: true},
+	} {
+		if got := runChecksum(t, bm, opts); !closeEnough(ref, got) {
+			t.Errorf("%+v: %g != %g", opts, got, ref)
+		}
+	}
+	// oversizing off
+	old := mat.OversizeEnabled
+	mat.OversizeEnabled = false
+	got := runChecksum(t, bench.ByName("adapt"), core.Options{Tier: core.TierJIT})
+	mat.OversizeEnabled = old
+	ref = runChecksum(t, bench.ByName("adapt"), core.Options{Tier: core.TierInterp})
+	if !closeEnough(ref, got) {
+		t.Errorf("oversizing off changed results: %g != %g", got, ref)
+	}
+}
+
+func runChecksum(t *testing.T, bm *bench.Benchmark, opts core.Options) float64 {
+	t.Helper()
+	opts.Seed = 11
+	e := core.New(opts)
+	if err := e.Define(bm.Source(bench.Small)); err != nil {
+		t.Fatal(err)
+	}
+	e.Precompile()
+	outs, err := e.Call(bm.Fn, bm.Args(bench.Small), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs[0].MustScalar()
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-6*(1+abs(a))
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,87 @@
+// Command majic-bench reproduces the paper's evaluation from the
+// command line:
+//
+//	majic-bench -exp=table1 -size=medium
+//	majic-bench -exp=fig4 -reps=5
+//	majic-bench -exp=all -size=paper -bench=dirich,finedif
+//
+// Experiments: table1, fig4, fig5, fig6, fig7, table2, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|table2|sec5|resp|all")
+	size := flag.String("size", "medium", "problem size preset: small|medium|paper")
+	reps := flag.Int("reps", 3, "best-of repetitions (paper used 10)")
+	benches := flag.String("bench", "", "comma-separated benchmark subset (default all)")
+	seed := flag.Uint64("seed", 0, "RNG seed (0 = default)")
+	flag.Parse()
+
+	sz, err := bench.ParseSize(*size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := harness.Config{
+		Size: sz,
+		Reps: *reps,
+		Out:  os.Stdout,
+		Seed: *seed,
+	}
+	if *benches != "" {
+		for _, name := range strings.Split(*benches, ",") {
+			name = strings.TrimSpace(name)
+			if bench.ByName(name) == nil {
+				fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+				os.Exit(2)
+			}
+			cfg.Benchmarks = append(cfg.Benchmarks, name)
+		}
+	}
+
+	run := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	switch *exp {
+	case "table1":
+		run("table1", cfg.Table1)
+	case "fig4":
+		run("fig4", cfg.Fig4)
+	case "fig5":
+		run("fig5", cfg.Fig5)
+	case "fig6":
+		run("fig6", cfg.Fig6)
+	case "fig7":
+		run("fig7", cfg.Fig7)
+	case "table2":
+		run("table2", cfg.Table2)
+	case "sec5":
+		run("sec5", cfg.Sec5)
+	case "resp":
+		run("resp", cfg.Responsiveness)
+	case "all":
+		run("table1", cfg.Table1)
+		run("fig4", cfg.Fig4)
+		run("fig5", cfg.Fig5)
+		run("fig6", cfg.Fig6)
+		run("fig7", cfg.Fig7)
+		run("table2", cfg.Table2)
+		run("sec5", cfg.Sec5)
+		run("resp", cfg.Responsiveness)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,140 @@
+// Command majic is the interactive MATLAB-like front end: a REPL that
+// interprets interactive statements and defers function calls to the
+// code repository, which compiles them behind the scenes (JIT by
+// default; -tier selects the execution strategy).
+//
+//	majic                      # interactive session, JIT tier
+//	majic -tier=spec f.m g.m   # load files, speculative precompilation
+//	majic -e 'x = fib(20)' f.m # one-shot evaluation
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	tierFlag := flag.String("tier", "jit", "execution tier: interp|mcc|falcon|jit|spec")
+	platFlag := flag.String("platform", "sparc", "platform profile: sparc|mips")
+	eval := flag.String("e", "", "evaluate this code and exit")
+	seed := flag.Uint64("seed", 0, "RNG seed")
+	flag.Parse()
+
+	tier, err := parseTier(*tierFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	platform := core.PlatformSPARC
+	if *platFlag == "mips" {
+		platform = core.PlatformMIPS
+	}
+
+	e := core.New(core.Options{Tier: tier, Platform: platform, Out: os.Stdout, Seed: *seed})
+
+	// Load .m files given on the command line into the repository.
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "majic: %v\n", err)
+			os.Exit(1)
+		}
+		if err := e.EvalString(string(src)); err != nil {
+			fmt.Fprintf(os.Stderr, "majic: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+	}
+	e.Precompile()
+
+	if *eval != "" {
+		if err := e.EvalString(*eval); err != nil {
+			fmt.Fprintf(os.Stderr, "majic: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("MaJIC reproduction — MATLAB-like front end (tier " + tier.String() + ")")
+	fmt.Println("Type MATLAB statements; 'exit' or Ctrl-D quits.")
+	sc := bufio.NewScanner(os.Stdin)
+	var pending strings.Builder
+	prompt := ">> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		if pending.Len() == 0 {
+			switch strings.TrimSpace(line) {
+			case "exit", "quit":
+				return
+			case "":
+				continue
+			case "who", "whos":
+				for _, name := range e.WorkspaceNames() {
+					v, _ := e.Workspace(name)
+					fmt.Printf("  %-12s %dx%d %s\n", name, v.Rows(), v.Cols(), v.Kind())
+				}
+				continue
+			}
+		}
+		pending.WriteString(line)
+		pending.WriteString("\n")
+		src := pending.String()
+		if needsMore(src) {
+			prompt = ".. "
+			continue
+		}
+		pending.Reset()
+		prompt = ">> "
+		if err := e.EvalString(src); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}
+
+// needsMore reports whether the accumulated source has unclosed blocks
+// (a crude but effective multi-line heuristic for the REPL).
+func needsMore(src string) bool {
+	depth := 0
+	for _, line := range strings.Split(src, "\n") {
+		code := line
+		if i := strings.IndexByte(code, '%'); i >= 0 {
+			code = code[:i]
+		}
+		for _, tok := range strings.FieldsFunc(code, func(r rune) bool {
+			return !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+		}) {
+			switch tok {
+			case "if", "while", "for", "switch", "function":
+				depth++
+			case "end":
+				depth--
+			}
+		}
+	}
+	return depth > 0
+}
+
+func parseTier(s string) (core.Tier, error) {
+	switch s {
+	case "interp":
+		return core.TierInterp, nil
+	case "mcc":
+		return core.TierMCC, nil
+	case "falcon":
+		return core.TierFalcon, nil
+	case "jit":
+		return core.TierJIT, nil
+	case "spec":
+		return core.TierSpec, nil
+	}
+	return 0, fmt.Errorf("unknown tier %q (interp|mcc|falcon|jit|spec)", s)
+}

@@ -1,0 +1,85 @@
+// Mandelbrot: run the paper's mandel benchmark workload through the
+// engine and render the escape-time field as a PGM image — the kind of
+// interactive numeric exploration MATLAB (and MaJIC) was built for.
+//
+//	go run ./examples/mandelbrot -n 300 -tier jit -o mandel.pgm
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/majic"
+)
+
+const code = `
+function M = mandelgrid(n, maxit)
+  M = zeros(n, n);
+  for ix = 1:n
+    for iy = 1:n
+      cx = -2 + 3*(ix - 1)/(n - 1);
+      cy = -1.25 + 2.5*(iy - 1)/(n - 1);
+      c = cx + cy*i;
+      z = 0*i;
+      k = 0;
+      while k < maxit && abs(z) <= 2
+        z = z*z + c;
+        k = k + 1;
+      end
+      M(iy, ix) = k;
+    end
+  end
+end
+`
+
+func main() {
+	n := flag.Int("n", 300, "grid size")
+	maxit := flag.Int("maxit", 64, "iteration cap")
+	tierName := flag.String("tier", "jit", "tier: interp|mcc|falcon|jit|spec")
+	outPath := flag.String("o", "mandel.pgm", "output PGM file")
+	flag.Parse()
+
+	tier := map[string]majic.Tier{
+		"interp": majic.TierInterp, "mcc": majic.TierMCC,
+		"falcon": majic.TierFalcon, "jit": majic.TierJIT, "spec": majic.TierSpec,
+	}[*tierName]
+
+	eng := majic.New(majic.Options{Tier: tier})
+	if err := eng.Define(code); err != nil {
+		log.Fatal(err)
+	}
+	eng.Precompile()
+
+	t0 := time.Now()
+	out, err := eng.Call("mandelgrid",
+		[]*majic.Value{majic.Scalar(float64(*n)), majic.Scalar(float64(*maxit))}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(t0)
+	m := out[0]
+	fmt.Printf("computed %dx%d grid under tier %s in %v\n", m.Rows(), m.Cols(), tier, elapsed.Round(time.Millisecond))
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	defer w.Flush()
+	fmt.Fprintf(w, "P2\n%d %d\n%d\n", m.Cols(), m.Rows(), *maxit)
+	for r := 0; r < m.Rows(); r++ {
+		for c := 0; c < m.Cols(); c++ {
+			if c > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%d", int(m.At(r, c)))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Printf("wrote %s\n", *outPath)
+}

@@ -1,0 +1,75 @@
+// Quickstart: embed the MaJIC engine, define MATLAB functions, call
+// them from Go, and watch the execution tiers at work.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/majic"
+)
+
+const code = `
+function y = polyval5(x)
+  % the paper's running example: p = x^5 + 3x + 2
+  y = x^5 + 3*x + 2;
+end
+
+function s = sumsq(n)
+  s = 0;
+  for i = 1:n
+    s = s + i*i;
+  end
+end
+`
+
+func main() {
+	// A JIT-tier engine: function calls compile on first invocation.
+	eng := majic.New(majic.Options{Tier: majic.TierJIT, Out: os.Stdout})
+	if err := eng.Define(code); err != nil {
+		log.Fatal(err)
+	}
+
+	// Call a function from Go. The first call JIT-compiles polyval5 for
+	// the exact argument type (an integer scalar, like the paper's
+	// Figure 3 signatures); later calls hit the code repository.
+	out, err := eng.Call("polyval5", []*majic.Value{majic.Scalar(3)}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("polyval5(3) = %s\n", out[0])
+
+	// Interactive-style evaluation in the workspace.
+	if err := eng.EvalString("total = sumsq(1000);"); err != nil {
+		log.Fatal(err)
+	}
+	v, _ := eng.Workspace("total")
+	fmt.Printf("sumsq(1000) = %s\n", v)
+
+	// Compare tiers on the same workload.
+	for _, tier := range []majic.Tier{majic.TierInterp, majic.TierMCC, majic.TierJIT} {
+		e := majic.New(majic.Options{Tier: tier})
+		if err := e.Define(code); err != nil {
+			log.Fatal(err)
+		}
+		arg := []*majic.Value{majic.Scalar(200000)}
+		if _, err := e.Call("sumsq", arg, 1); err != nil { // warm/compile
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := e.Call("sumsq", arg, 1); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sumsq(200000) under %-6s took %v\n", tier, time.Since(t0).Round(time.Microsecond))
+	}
+
+	// Inspect the code repository.
+	for _, entry := range eng.Repo().Entries("polyval5") {
+		fmt.Printf("repository: polyval5 %s quality=%s hits=%d\n",
+			entry.Sig, entry.Quality, entry.Hits)
+	}
+}

@@ -1,0 +1,175 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	f := parse(t, `
+function y = f(x)
+  for i = 1:x
+    if i > 2
+      y = i + sin(x);
+    else
+      y = [1 2; 3 4];
+    end
+  end
+  while y < 10
+    y = y + 1;
+  end
+  switch x
+  case 1
+    y = 0;
+  otherwise
+    y = -1;
+  end
+end`)
+	counts := map[string]int{}
+	ast.Walk(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.For:
+			counts["for"]++
+		case *ast.If:
+			counts["if"]++
+		case *ast.While:
+			counts["while"]++
+		case *ast.Switch:
+			counts["switch"]++
+		case *ast.Matrix:
+			counts["matrix"]++
+		case *ast.Binary:
+			counts["binary"]++
+		case *ast.Call:
+			counts["call"]++
+		case *ast.Ident:
+			counts["ident"]++
+		}
+		return true
+	})
+	for _, k := range []string{"for", "if", "while", "switch", "matrix"} {
+		if counts[k] != 1 {
+			t.Errorf("%s visited %d times", k, counts[k])
+		}
+	}
+	if counts["binary"] < 4 || counts["ident"] < 5 || counts["call"] < 1 {
+		t.Errorf("counts: %v", counts)
+	}
+	// early termination
+	seen := 0
+	ast.Walk(f, func(n ast.Node) bool {
+		seen++
+		return false
+	})
+	if seen != 1 {
+		t.Errorf("walk with false visited %d nodes", seen)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := parse(t, `
+function y = f(x)
+  v = [1 2 3];
+  for i = 1:3
+    v(i) = x * i;
+  end
+  y = sum(v);
+end`)
+	fn := f.Funcs[0]
+	clone := ast.CloneFunction(fn)
+	// renaming every identifier in the clone must not affect the original
+	ast.WalkStmts(clone.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			x.Name = "zz_" + x.Name
+		case *ast.Call:
+			x.Name = "zz_" + x.Name
+		}
+		return true
+	})
+	tainted := false
+	ast.WalkStmts(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if strings.HasPrefix(x.Name, "zz_") {
+				tainted = true
+			}
+		case *ast.Call:
+			if strings.HasPrefix(x.Name, "zz_") {
+				tainted = true
+			}
+		}
+		return true
+	})
+	if tainted {
+		t.Fatal("clone shares nodes with the original")
+	}
+	// print equality before mutation (structure preserved)
+	f2 := parse(t, `
+function y = g(a, b)
+  y = a^2 + b';
+end`)
+	c2 := ast.CloneFunction(f2.Funcs[0])
+	if ast.Print(c2) != ast.Print(f2.Funcs[0]) {
+		t.Error("clone prints differently")
+	}
+}
+
+func TestOperatorStringers(t *testing.T) {
+	ops := map[ast.BinOp]string{
+		ast.OpAdd: "+", ast.OpSub: "-", ast.OpMul: "*", ast.OpDiv: "/",
+		ast.OpLDiv: "\\", ast.OpPow: "^", ast.OpEMul: ".*", ast.OpEDiv: "./",
+		ast.OpELDiv: ".\\", ast.OpEPow: ".^", ast.OpEq: "==", ast.OpNe: "~=",
+		ast.OpLt: "<", ast.OpLe: "<=", ast.OpGt: ">", ast.OpGe: ">=",
+		ast.OpAnd: "&", ast.OpOr: "|", ast.OpAndAnd: "&&", ast.OpOrOr: "||",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d prints %q, want %q", op, op.String(), want)
+		}
+	}
+	if !ast.OpLt.IsRelational() || ast.OpAdd.IsRelational() {
+		t.Error("IsRelational")
+	}
+	if !ast.OpAndAnd.IsLogical() || ast.OpMul.IsLogical() {
+		t.Error("IsLogical")
+	}
+}
+
+func TestPrintStatements(t *testing.T) {
+	src := `
+function [a, b] = f(x)
+  global g
+  clear tmp
+  a = x;
+  b = 'str''s';
+  if a > 0
+    break;
+  else
+    continue;
+  end
+  return;
+end`
+	f := parse(t, src)
+	printed := ast.Print(f)
+	for _, want := range []string{
+		"function [a, b] = f(x)", "global g", "clear tmp", "'str''s'",
+		"break;", "continue;", "return;", "else",
+	} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("printed output lacks %q:\n%s", want, printed)
+		}
+	}
+}

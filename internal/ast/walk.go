@@ -1,0 +1,74 @@
+package ast
+
+// Walk traverses the tree rooted at n in depth-first pre-order, calling
+// f for each node. If f returns false the node's children are skipped.
+func Walk(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Binary:
+		Walk(x.L, f)
+		Walk(x.R, f)
+	case *Unary:
+		Walk(x.X, f)
+	case *Transpose:
+		Walk(x.X, f)
+	case *Range:
+		Walk(x.Lo, f)
+		if x.Step != nil {
+			Walk(x.Step, f)
+		}
+		Walk(x.Hi, f)
+	case *Call:
+		for _, a := range x.Args {
+			Walk(a, f)
+		}
+	case *Matrix:
+		for _, row := range x.Rows {
+			for _, e := range row {
+				Walk(e, f)
+			}
+		}
+	case *ExprStmt:
+		Walk(x.X, f)
+	case *Assign:
+		for _, l := range x.LHS {
+			Walk(l, f)
+		}
+		Walk(x.RHS, f)
+	case *If:
+		for i, c := range x.Conds {
+			Walk(c, f)
+			WalkStmts(x.Blocks[i], f)
+		}
+		WalkStmts(x.Else, f)
+	case *While:
+		Walk(x.Cond, f)
+		WalkStmts(x.Body, f)
+	case *For:
+		Walk(x.Iter, f)
+		WalkStmts(x.Body, f)
+	case *Switch:
+		Walk(x.Subject, f)
+		for i, c := range x.CaseVals {
+			Walk(c, f)
+			WalkStmts(x.CaseBlks[i], f)
+		}
+		WalkStmts(x.Otherwise, f)
+	case *Function:
+		WalkStmts(x.Body, f)
+	case *File:
+		WalkStmts(x.Stmts, f)
+		for _, fn := range x.Funcs {
+			Walk(fn, f)
+		}
+	}
+}
+
+// WalkStmts walks each statement in order.
+func WalkStmts(stmts []Stmt, f func(Node) bool) {
+	for _, s := range stmts {
+		Walk(s, f)
+	}
+}

@@ -1,0 +1,687 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mat"
+)
+
+// withArgs substitutes each '@' placeholder in src with the
+// corresponding value (the sources are full of '%' comments, which
+// rules out Sprintf verbs).
+func withArgs(src string, vals ...any) string {
+	for _, v := range vals {
+		src = strings.Replace(src, "@", fmt.Sprint(v), 1)
+	}
+	return src
+}
+
+// The benchmark programs. Niladic benchmarks carry their problem size
+// as internal constants (filled per preset), matching how the original
+// scripts fixed Table 1's problem sizes; solver-style benchmarks take
+// their system as parameters, which is exactly where the paper's
+// speculator loses to JIT inference (Table 2: qmr, mei, icn).
+var allBenchmarks = []*Benchmark{
+	{
+		Name: "adapt", Origin: "Mathews [14]", Desc: "adaptive quadrature",
+		Category: CatArray, PaperSize: "approx. 2500", PaperLines: 81, PaperRuntime: 5.24,
+		Fn: "adapt",
+		Source: func(sz Size) string {
+			return `
+function q = adapt(a0, b0, tol0)
+  % Adaptive Simpson quadrature with an explicit, dynamically growing
+  % interval stack (the paper's "large and dynamically growing array").
+  sa = zeros(1, 1); sb = zeros(1, 1); st = zeros(1, 1);
+  sa(1) = a0; sb(1) = b0; st(1) = tol0;
+  top = 1;
+  q = 0;
+  while top > 0
+    a = sa(top); b = sb(top); tol = st(top);
+    top = top - 1;
+    m = (a + b)/2;
+    fa = fhump(a); fb = fhump(b); fm = fhump(m);
+    whole = (b - a)*(fa + 4*fm + fb)/6;
+    ml = (a + m)/2; mr = (m + b)/2;
+    fml = fhump(ml); fmr = fhump(mr);
+    left = (m - a)*(fa + 4*fml + fm)/6;
+    rght = (b - m)*(fm + 4*fmr + fb)/6;
+    if abs(left + rght - whole) < 15*tol
+      q = q + left + rght;
+    else
+      top = top + 1; sa(top) = a; sb(top) = m; st(top) = tol/2;
+      top = top + 1; sa(top) = m; sb(top) = b; st(top) = tol/2;
+    end
+  end
+end
+function y = fhump(x)
+  y = 1/((x - 0.3)^2 + 0.01) + 1/((x - 0.9)^2 + 0.04) - 6;
+end`
+		},
+		Args: func(sz Size) []*mat.Value {
+			tol := pick(sz, 1e-4, 1e-8, 1e-10)
+			return []*mat.Value{mat.Scalar(0), mat.Scalar(1), mat.Scalar(tol)}
+		},
+	},
+	{
+		Name: "cgopt", Origin: "Templates [3]", Desc: "conjugate gradient w. diagonal preconditioner",
+		Category: CatBuiltin, PaperSize: "420 x 420", PaperLines: 38, PaperRuntime: 0.43,
+		Fn: "cgopt",
+		Source: func(sz Size) string {
+			iters := pick(sz, 20, 120, 200)
+			return withArgs(`
+function s = cgopt(A, b)
+  n = size(A, 1);
+  x = zeros(n, 1);
+  r = b - A*x;
+  d = diag(A);
+  z = r ./ d;
+  p = z;
+  rz = dot(r, z);
+  for iter = 1:@
+    q = A*p;
+    alpha = rz / dot(p, q);
+    x = x + alpha*p;
+    r = r - alpha*q;
+    if sqrt(dot(r, r)) < 1e-12
+      break;
+    end
+    z = r ./ d;
+    rznew = dot(r, z);
+    beta = rznew / rz;
+    rz = rznew;
+    p = z + beta*p;
+  end
+  s = sum(x) + sqrt(dot(r, r));
+end`, iters)
+		},
+		Args: func(sz Size) []*mat.Value {
+			n := pick(sz, 60, 420, 420)
+			return []*mat.Value{spdMatrix(n), rhsVector(n)}
+		},
+	},
+	{
+		Name: "crnich", Origin: "Mathews [14]", Desc: "Crank-Nicholson heat equation solver",
+		Category: CatScalar, PaperSize: "321 x 321", PaperLines: 40, PaperRuntime: 16.33,
+		Fn: "crnich",
+		Source: func(sz Size) string {
+			n := pick(sz, 41, 161, 321)
+			m := pick(sz, 41, 161, 321)
+			return withArgs(`
+function s = crnich()
+  % Crank-Nicholson for u_t = c^2 u_xx with a Thomas-algorithm
+  % tridiagonal solve per time step (Mathews & Fink, program 10.2).
+  n = @;
+  m = @;
+  c = 1;
+  h = 1/(n - 1);
+  k = 1/(m - 1);
+  r = c^2*k/h^2;
+  s1 = 2 + 2/r;
+  s2 = 2/r - 2;
+  U = zeros(n, m);
+  for i = 2:n-1
+    U(i,1) = sin(pi*h*(i-1)) + sin(3*pi*h*(i-1));
+  end
+  Vd = zeros(1, n);
+  Va = zeros(1, n - 1);
+  Vb = zeros(1, n);
+  Vc = zeros(1, n - 1);
+  X = zeros(1, n);
+  for i = 1:n-1
+    Va(i) = -1;
+    Vc(i) = -1;
+  end
+  for i = 1:n
+    Vb(i) = s1;
+  end
+  Vb(1) = 1; Vb(n) = 1;
+  Va(n-1) = 0; Vc(1) = 0;
+  for j = 2:m
+    % right-hand side
+    Vd(1) = 0;
+    Vd(n) = 0;
+    for i = 2:n-1
+      Vd(i) = U(i-1,j-1) + U(i+1,j-1) + s2*U(i,j-1);
+    end
+    % Thomas algorithm
+    for i = 2:n
+      mult = Va(i-1)/Vb(i-1);
+      Vb(i) = Vb(i) - mult*Vc(i-1);
+      Vd(i) = Vd(i) - mult*Vd(i-1);
+    end
+    X(n) = Vd(n)/Vb(n);
+    for i = n-1:-1:1
+      X(i) = (Vd(i) - Vc(i)*X(i+1))/Vb(i);
+    end
+    for i = 1:n
+      U(i,j) = X(i);
+    end
+    % restore the factored diagonal for the next step
+    for i = 1:n
+      Vb(i) = s1;
+    end
+    Vb(1) = 1; Vb(n) = 1;
+  end
+  s = 0;
+  for i = 1:n
+    s = s + U(i,m);
+  end
+end`, n, m)
+		},
+		Args: noArgs,
+	},
+	{
+		Name: "dirich", Origin: "Mathews [14]", Desc: "Dirichlet solution to Laplace's equation",
+		Category: CatScalar, PaperSize: "134 x 134", PaperLines: 34, PaperRuntime: 277.89,
+		Fn: "dirich",
+		Source: func(sz Size) string {
+			n := pick(sz, 34, 80, 134)
+			tol := pick(sz, 1.0, 0.2, 0.1)
+			return withArgs(`
+function s = dirich()
+  % SOR iteration for Laplace's equation on a square (Mathews & Fink,
+  % program 10.4: dirich).
+  n = @;
+  tol = @;
+  f1 = 100; f2 = 0; f3 = 0; f4 = 0;
+  U = zeros(n, n);
+  ave = (f1 + f2 + f3 + f4)/4;
+  for i = 2:n-1
+    for j = 2:n-1
+      U(i,j) = ave;
+    end
+  end
+  for i = 1:n
+    U(i,1) = f3;
+    U(i,n) = f4;
+  end
+  for j = 1:n
+    U(1,j) = f1;
+    U(n,j) = f2;
+  end
+  w = 4/(2 + sqrt(4 - (cos(pi/(n-1)) + cos(pi/(n-1)))^2));
+  err = 1;
+  while err > tol
+    err = 0;
+    for j = 2:n-1
+      for i = 2:n-1
+        relx = w*(U(i,j+1) + U(i,j-1) + U(i+1,j) + U(i-1,j) - 4*U(i,j))/4;
+        U(i,j) = U(i,j) + relx;
+        if err <= abs(relx)
+          err = abs(relx);
+        end
+      end
+    end
+  end
+  s = 0;
+  for i = 1:n
+    for j = 1:n
+      s = s + U(i,j);
+    end
+  end
+end`, n, tol)
+		},
+		Args: noArgs,
+	},
+	{
+		Name: "finedif", Origin: "Mathews [14]", Desc: "Finite difference solution to the wave equation",
+		Category: CatScalar, PaperSize: "1000 x 1000", PaperLines: 21, PaperRuntime: 57.81,
+		Fn: "finedif",
+		Source: func(sz Size) string {
+			n := pick(sz, 60, 400, 1000)
+			m := pick(sz, 60, 400, 1000)
+			return withArgs(`
+function s = finedif()
+  % Explicit finite differences for the wave equation (Mathews & Fink,
+  % program 10.1: finedif).
+  n = @;
+  m = @;
+  h = 1/(n - 1);
+  k = 1/(m - 1);
+  c = 1;
+  r = c*k/h;
+  r2 = r^2;
+  r22 = r^2/2;
+  s1 = 1 - r^2;
+  s2 = 2 - 2*r^2;
+  U = zeros(n, m);
+  for i = 2:n-1
+    x = h*(i - 1);
+    U(i,1) = sin(pi*x);
+    U(i,2) = s1*sin(pi*x) + r22*(sin(pi*h*i) + sin(pi*h*(i-2)));
+  end
+  for j = 3:m
+    for i = 2:n-1
+      U(i,j) = s2*U(i,j-1) + r2*(U(i-1,j-1) + U(i+1,j-1)) - U(i,j-2);
+    end
+  end
+  s = 0;
+  for i = 1:n
+    s = s + U(i,m);
+  end
+end`, n, m)
+		},
+		Args: noArgs,
+	},
+	{
+		Name: "galrkn", Origin: "Garcia [12]", Desc: "Galerkin's method (finite element method)",
+		Category: CatScalar, PaperSize: "40 x 40", PaperLines: 43, PaperRuntime: 8.02,
+		Fn: "galrkn",
+		Source: func(sz Size) string {
+			sweeps := pick(sz, 5, 60, 120)
+			return withArgs(`
+function s = galrkn(n)
+  % Galerkin finite elements for -u'' = f on [0,1] with linear
+  % elements: assembly by per-element quadrature loops, then a solve.
+  nq = 8;
+  K = zeros(n, n);
+  F = zeros(n, 1);
+  h = 1/(n + 1);
+  s = 0;
+  for sweep = 1:@
+    for e = 1:n+1
+      x0 = (e - 1)*h;
+      k11 = 0; k12 = 0; k22 = 0;
+      f1 = 0; f2 = 0;
+      for qp = 1:nq
+        xi = (qp - 0.5)/nq;
+        x = x0 + xi*h;
+        w = h/nq;
+        d1 = -1/h;
+        d2 = 1/h;
+        b1 = 1 - xi;
+        b2 = xi;
+        fx = sin(pi*x)*(pi^2) + (sweep - 1)*0;
+        k11 = k11 + w*d1*d1;
+        k12 = k12 + w*d1*d2;
+        k22 = k22 + w*d2*d2;
+        f1 = f1 + w*fx*b1;
+        f2 = f2 + w*fx*b2;
+      end
+      il = e - 1;
+      ir = e;
+      if il >= 1
+        K(il,il) = K(il,il) + k11;
+        F(il) = F(il) + f1;
+      end
+      if ir <= n
+        K(ir,ir) = K(ir,ir) + k22;
+        F(ir) = F(ir) + f2;
+      end
+      if il >= 1
+        if ir <= n
+          K(il,ir) = K(il,ir) + k12;
+          K(ir,il) = K(ir,il) + k12;
+        end
+      end
+    end
+    u = K \ F;
+    s = s + sum(u);
+    for i = 1:n
+      for j = 1:n
+        K(i,j) = 0;
+      end
+      F(i) = 0;
+    end
+  end
+end`, sweeps)
+		},
+		Args: func(sz Size) []*mat.Value {
+			return []*mat.Value{mat.Scalar(40)}
+		},
+	},
+	{
+		Name: "icn", Origin: "R. Bramley", Desc: "Cholesky factorization",
+		Category: CatScalar, PaperSize: "400 x 400", PaperLines: 29, PaperRuntime: 7.72,
+		Fn: "icn",
+		Source: func(sz Size) string {
+			return `
+function s = icn(A)
+  % LDL' Cholesky-family factorization with Fortran-77-style loops.
+  n = size(A, 1);
+  L = zeros(n, n);
+  D = zeros(1, n);
+  for k = 1:n
+    t = A(k,k);
+    for p = 1:k-1
+      t = t - L(k,p)^2*D(p);
+    end
+    D(k) = t;
+    L(k,k) = 1;
+    for i = k+1:n
+      t = A(i,k);
+      for p = 1:k-1
+        t = t - L(i,p)*L(k,p)*D(p);
+      end
+      L(i,k) = t/D(k);
+    end
+  end
+  s = 0;
+  for k = 1:n
+    s = s + D(k) + L(n,k);
+  end
+end`
+		},
+		Args: func(sz Size) []*mat.Value {
+			n := pick(sz, 50, 250, 400)
+			return []*mat.Value{spdMatrix(n)}
+		},
+	},
+	{
+		Name: "mei", Origin: "unknown", Desc: "fractal landscape generator",
+		Category: CatBuiltin, PaperSize: "31 x 14", PaperLines: 24, PaperRuntime: 10.77,
+		Fn: "mei",
+		Source: func(sz Size) string {
+			iters := pick(sz, 5, 60, 150)
+			return withArgs(`
+function s = mei(H)
+  % Fractal landscape roughening by spectral synthesis: each pass
+  % computes the eigenvalues of the height field's correlation (a
+  % library call whose arguments the speculator cannot prove real).
+  n = size(H, 1);
+  m = size(H, 2);
+  s = 0;
+  for pass = 1:@
+    C = H'*H/m;
+    e = eig(C);
+    t = 0;
+    for p = 1:m
+      t = t + abs(e(p))^0.5;
+    end
+    H = 0.9*H + rand(n, m)*(0.1*t/m);
+    s = s + t;
+  end
+end`, iters)
+		},
+		Args: func(sz Size) []*mat.Value {
+			return []*mat.Value{seedLandscape(31, 14)}
+		},
+	},
+	{
+		Name: "orbec", Origin: "Garcia [12]", Desc: "Euler-Cromer method for 1-body problem",
+		Category: CatArray, PaperSize: "62400 points", PaperLines: 24, PaperRuntime: 19.10,
+		Fn: "orbec",
+		Source: func(sz Size) string {
+			steps := pick(sz, 2000, 62400, 62400)
+			return withArgs(`
+function s = orbec()
+  % Euler-Cromer integration of a comet orbit (Garcia, orbit.m):
+  % everything happens on small fixed-size vectors.
+  nStep = @;
+  tau = 0.0005;
+  GM = 4*pi^2;
+  r = [1 0];
+  v = [0 2*pi];
+  s = 0;
+  for iStep = 1:nStep
+    normR = sqrt(r(1)^2 + r(2)^2);
+    accel = r*(-GM/normR^3);
+    v = v + accel*tau;
+    r = r + v*tau;
+    s = s + normR;
+  end
+  s = s/nStep;
+end`, steps)
+		},
+		Args: noArgs,
+	},
+	{
+		Name: "orbrk", Origin: "Garcia [12]", Desc: "Runge-Kutta method for 1-body problem",
+		Category: CatArray, PaperSize: "5000 points", PaperLines: 52, PaperRuntime: 9.30,
+		Fn: "orbrk",
+		Source: func(sz Size) string {
+			steps := pick(sz, 500, 5000, 5000)
+			return withArgs(`
+function s = orbrk()
+  % Fourth-order Runge-Kutta comet orbit (Garcia): the derivative
+  % helper is a prime inlining target.
+  nStep = @;
+  tau = 0.002;
+  GM = 4*pi^2;
+  x = [1 0 0 2*pi];
+  s = 0;
+  for iStep = 1:nStep
+    k1 = gravrk(x, GM);
+    xh = x + k1*(0.5*tau);
+    k2 = gravrk(xh, GM);
+    xh = x + k2*(0.5*tau);
+    k3 = gravrk(xh, GM);
+    xh = x + k3*tau;
+    k4 = gravrk(xh, GM);
+    x = x + (k1 + k4 + (k2 + k3)*2)*(tau/6);
+    s = s + sqrt(x(1)^2 + x(2)^2);
+  end
+  s = s/nStep;
+end
+function deriv = gravrk(x, GM)
+  r3 = (x(1)^2 + x(2)^2)^1.5;
+  deriv = [x(3) x(4) -GM*x(1)/r3 -GM*x(2)/r3];
+end`, steps)
+		},
+		Args: noArgs,
+	},
+	{
+		Name: "qmr", Origin: "Garcia [12]", Desc: "linear equation system solver, QMR method",
+		Category: CatBuiltin, PaperSize: "420 x 420", PaperLines: 119, PaperRuntime: 5.29,
+		Fn: "qmr",
+		Source: func(sz Size) string {
+			iters := pick(sz, 10, 60, 100)
+			return withArgs(`
+function s = qmr(A, b)
+  % Quasi-minimal residual iteration (Templates, alg. QMR without
+  % look-ahead, identity preconditioners).
+  n = size(A, 1);
+  x = zeros(n, 1);
+  r = b - A*x;
+  vt = r;
+  rho = norm(vt);
+  wt = r;
+  xi = norm(wt);
+  gam = 1;
+  eta = -1;
+  ep = 1;
+  theta = 0;
+  v = zeros(n, 1);
+  w = zeros(n, 1);
+  p = zeros(n, 1);
+  q = zeros(n, 1);
+  d = zeros(n, 1);
+  sv = zeros(n, 1);
+  for iter = 1:@
+    if abs(rho) < 1e-14
+      break;
+    end
+    if abs(xi) < 1e-14
+      break;
+    end
+    v = vt/rho;
+    w = wt/xi;
+    delta = dot(w, v);
+    if abs(delta) < 1e-14
+      break;
+    end
+    if iter == 1
+      p = v;
+      q = w;
+    else
+      pcoef = xi*delta/ep;
+      qcoef = rho*delta/ep;
+      p = v - p*pcoef;
+      q = w - q*qcoef;
+    end
+    pt = A*p;
+    ep = dot(q, pt);
+    if abs(ep) < 1e-14
+      break;
+    end
+    beta = ep/delta;
+    vt = pt - v*beta;
+    rho1 = rho;
+    rho = norm(vt);
+    wt = A'*q - w*beta;
+    xi = norm(wt);
+    theta1 = theta;
+    theta = rho/(gam*abs(beta));
+    gam1 = gam;
+    gam = 1/sqrt(1 + theta^2);
+    eta = -eta*rho1*gam^2/(beta*gam1^2);
+    if iter == 1
+      d = p*eta;
+      sv = pt*eta;
+    else
+      dc = (theta1*gam)^2;
+      d = p*eta + d*dc;
+      sv = pt*eta + sv*dc;
+    end
+    x = x + d;
+    r = r - sv;
+    if norm(r) < 1e-12
+      break;
+    end
+  end
+  s = sum(x) + norm(r);
+end`, iters)
+		},
+		Args: func(sz Size) []*mat.Value {
+			n := pick(sz, 60, 420, 420)
+			return []*mat.Value{spdMatrix(n), rhsVector(n)}
+		},
+	},
+	{
+		Name: "sor", Origin: "Templates [3]", Desc: "lin. eq. sys. solver, successive overrelaxation",
+		Category: CatBuiltin, PaperSize: "420 x 420", PaperLines: 29, PaperRuntime: 4.77,
+		Fn: "sor",
+		Source: func(sz Size) string {
+			iters := pick(sz, 3, 12, 20)
+			return withArgs(`
+function s = sor(A, b, w)
+  % SOR by matrix splitting (Templates): M = D/w + L, entirely built
+  % from library operations — compilation gains little here.
+  n = size(A, 1);
+  x = zeros(n, 1);
+  D = diag(diag(A));
+  L = tril(A, -1);
+  U = triu(A, 1);
+  M = D/w + L;
+  N = D*(1/w - 1) - U;
+  for iter = 1:@
+    x = M \ (N*x + b);
+  end
+  s = sum(x) + norm(b - A*x);
+end`, iters)
+		},
+		Args: func(sz Size) []*mat.Value {
+			n := pick(sz, 60, 300, 420)
+			return []*mat.Value{spdMatrix(n), rhsVector(n), mat.Scalar(1.2)}
+		},
+	},
+	{
+		Name: "ackermann", Origin: "authors", Desc: "Ackermann's function",
+		Category: CatRecursive, PaperSize: "ackermann(3,5)", PaperLines: 15, PaperRuntime: 3.84,
+		Fn: "ackermann",
+		Source: func(sz Size) string {
+			return `
+function y = ackermann(m, n)
+  if m == 0
+    y = n + 1;
+  elseif n == 0
+    y = ackermann(m - 1, 1);
+  else
+    y = ackermann(m - 1, ackermann(m, n - 1));
+  end
+end`
+		},
+		Args: func(sz Size) []*mat.Value {
+			n := pick(sz, 3, 4, 5)
+			return []*mat.Value{mat.Scalar(3), mat.Scalar(float64(n))}
+		},
+	},
+	{
+		Name: "fractal", Origin: "authors", Desc: "Barnsley fern generator",
+		Category: CatArray, PaperSize: "25000 points", PaperLines: 35, PaperRuntime: 26.55,
+		Fn: "fractal",
+		Source: func(sz Size) string {
+			points := pick(sz, 2000, 25000, 25000)
+			return withArgs(`
+function s = fractal()
+  % Barnsley fern: an iterated function system over 2-vectors and
+  % 2x2 matrices — the classic small-array benchmark.
+  n = @;
+  p = [0.5; 0.5];
+  s = 0;
+  for k = 1:n
+    t = rand;
+    if t < 0.01
+      B = [0 0; 0 0.16];
+      c = [0; 0];
+    elseif t < 0.86
+      B = [0.85 0.04; -0.04 0.85];
+      c = [0; 1.6];
+    elseif t < 0.93
+      B = [0.2 -0.26; 0.23 0.22];
+      c = [0; 1.6];
+    else
+      B = [-0.15 0.28; 0.26 0.24];
+      c = [0; 0.44];
+    end
+    p = B*p + c;
+    s = s + p(1) + p(2);
+  end
+  s = s/n;
+end`, points)
+		},
+		Args: noArgs,
+	},
+	{
+		Name: "mandel", Origin: "authors", Desc: "Mandelbrot set generator",
+		Category: CatScalar, PaperSize: "200 x 200", PaperLines: 16, PaperRuntime: 8.64,
+		Fn: "mandel",
+		Source: func(sz Size) string {
+			return `
+function s = mandel(n)
+  % Escape-time Mandelbrot iteration; note the use of the builtin i,
+  % which drags the speculator toward complex arithmetic (§3.6).
+  maxit = 64;
+  s = 0;
+  for ix = 1:n
+    for iy = 1:n
+      cx = -2 + 3*(ix - 1)/(n - 1);
+      cy = -1.25 + 2.5*(iy - 1)/(n - 1);
+      c = cx + cy*i;
+      z = 0*i;
+      k = 0;
+      while k < maxit && abs(z) <= 2
+        z = z*z + c;
+        k = k + 1;
+      end
+      s = s + k;
+    end
+  end
+end`
+		},
+		Args: func(sz Size) []*mat.Value {
+			n := pick(sz, 40, 200, 200)
+			return []*mat.Value{mat.Scalar(float64(n))}
+		},
+	},
+	{
+		Name: "fibonacci", Origin: "authors", Desc: "recursive Fibonacci function",
+		Category: CatRecursive, PaperSize: "fibonacci(20)", PaperLines: 10, PaperRuntime: 1.29,
+		Fn: "fibonacci",
+		Source: func(sz Size) string {
+			return `
+function f = fibonacci(n)
+  if n < 2
+    f = n;
+  else
+    f = fibonacci(n - 1) + fibonacci(n - 2);
+  end
+end`
+		},
+		Args: func(sz Size) []*mat.Value {
+			n := pick(sz, 14, 20, 20)
+			return []*mat.Value{mat.Scalar(float64(n))}
+		},
+	},
+}

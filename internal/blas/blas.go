@@ -1,0 +1,140 @@
+// Package blas provides the small dense-kernel substrate the paper's
+// generated code links against (reference BLAS): level-1 vector kernels
+// and the dgemv/dgemm routines that MaJIC's code selection fuses
+// expression trees into. All matrices are column-major with explicit
+// leading dimension, matching the runtime layout of internal/mat.
+package blas
+
+import "math"
+
+// Ddot returns x·y over n elements with strides incx, incy.
+func Ddot(n int, x []float64, incx int, y []float64, incy int) float64 {
+	var s float64
+	if incx == 1 && incy == 1 {
+		for i := 0; i < n; i++ {
+			s += x[i] * y[i]
+		}
+		return s
+	}
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		s += x[ix] * y[iy]
+		ix += incx
+		iy += incy
+	}
+	return s
+}
+
+// Daxpy computes y = a*x + y over n elements.
+func Daxpy(n int, a float64, x []float64, incx int, y []float64, incy int) {
+	if a == 0 {
+		return
+	}
+	if incx == 1 && incy == 1 {
+		for i := 0; i < n; i++ {
+			y[i] += a * x[i]
+		}
+		return
+	}
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		y[iy] += a * x[ix]
+		ix += incx
+		iy += incy
+	}
+}
+
+// Dscal computes x = a*x over n elements.
+func Dscal(n int, a float64, x []float64, incx int) {
+	if incx == 1 {
+		for i := 0; i < n; i++ {
+			x[i] *= a
+		}
+		return
+	}
+	ix := 0
+	for i := 0; i < n; i++ {
+		x[ix] *= a
+		ix += incx
+	}
+}
+
+// Dnrm2 returns the Euclidean norm of x with scaling for overflow safety.
+func Dnrm2(n int, x []float64, incx int) float64 {
+	var scale, ssq float64
+	ssq = 1
+	ix := 0
+	for i := 0; i < n; i++ {
+		v := x[ix]
+		ix += incx
+		if v == 0 {
+			continue
+		}
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Dgemv computes y = alpha*A*x + beta*y (trans=false) or
+// y = alpha*Aᵀ*x + beta*y (trans=true). A is m x n, column-major with
+// leading dimension lda.
+func Dgemv(trans bool, m, n int, alpha float64, a []float64, lda int, x []float64, beta float64, y []float64) {
+	if !trans {
+		if beta != 1 {
+			Dscal(m, beta, y, 1)
+		}
+		for j := 0; j < n; j++ {
+			t := alpha * x[j]
+			if t == 0 {
+				continue
+			}
+			col := a[j*lda : j*lda+m]
+			for i := 0; i < m; i++ {
+				y[i] += t * col[i]
+			}
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		col := a[j*lda : j*lda+m]
+		var s float64
+		for i := 0; i < m; i++ {
+			s += col[i] * x[i]
+		}
+		y[j] = alpha*s + beta*y[j]
+	}
+}
+
+// Dgemm computes C = alpha*A*B + beta*C, with A m x k, B k x n,
+// C m x n, all column-major with leading dimensions lda, ldb, ldc.
+func Dgemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	for j := 0; j < n; j++ {
+		ccol := c[j*ldc : j*ldc+m]
+		if beta != 1 {
+			for i := range ccol {
+				ccol[i] *= beta
+			}
+		}
+		for l := 0; l < k; l++ {
+			t := alpha * b[j*ldb+l]
+			if t == 0 {
+				continue
+			}
+			acol := a[l*lda : l*lda+m]
+			for i := 0; i < m; i++ {
+				ccol[i] += t * acol[i]
+			}
+		}
+	}
+}

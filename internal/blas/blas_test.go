@@ -1,0 +1,152 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDdot(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	if got := Ddot(3, x, 1, y, 1); got != 32 {
+		t.Fatalf("ddot = %g", got)
+	}
+	// strided
+	xs := []float64{1, 0, 2, 0, 3}
+	if got := Ddot(3, xs, 2, y, 1); got != 32 {
+		t.Fatalf("strided ddot = %g", got)
+	}
+}
+
+func TestDaxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Daxpy(3, 2, []float64{1, 2, 3}, 1, y, 1)
+	want := []float64{3, 5, 7}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("daxpy: %v", y)
+		}
+	}
+	// a = 0 is a no-op
+	Daxpy(3, 0, []float64{9, 9, 9}, 1, y, 1)
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatal("daxpy with zero alpha must not change y")
+		}
+	}
+}
+
+func TestDnrm2(t *testing.T) {
+	if got := Dnrm2(2, []float64{3, 4}, 1); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("nrm2 = %g", got)
+	}
+	// overflow-safe scaling
+	big := []float64{1e308, 1e308}
+	got := Dnrm2(2, big, 1)
+	if math.IsInf(got, 1) {
+		t.Fatal("nrm2 overflowed")
+	}
+	if math.Abs(got-1e308*math.Sqrt2) > 1e295 {
+		t.Fatalf("nrm2 big = %g", got)
+	}
+	if Dnrm2(0, nil, 1) != 0 {
+		t.Fatal("empty norm")
+	}
+}
+
+func TestDscal(t *testing.T) {
+	x := []float64{1, 2, 3}
+	Dscal(3, 10, x, 1)
+	if x[2] != 30 {
+		t.Fatalf("dscal: %v", x)
+	}
+}
+
+// Dgemv against a straightforward reference implementation.
+func TestDgemvAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		m, n := 1+r.Intn(8), 1+r.Intn(8)
+		a := make([]float64, m*n)
+		for i := range a {
+			a[i] = r.Float64()*2 - 1
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Float64()*2 - 1
+		}
+		y0 := make([]float64, m)
+		for i := range y0 {
+			y0[i] = r.Float64()*2 - 1
+		}
+		alpha := float64(r.Intn(5) - 2)
+		beta := float64(r.Intn(3) - 1)
+
+		want := make([]float64, m)
+		for i := 0; i < m; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += a[j*m+i] * x[j]
+			}
+			want[i] = alpha*s + beta*y0[i]
+		}
+		got := append([]float64(nil), y0...)
+		Dgemv(false, m, n, alpha, a, m, x, beta, got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				t.Fatalf("trial %d: y[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDgemvTransposed(t *testing.T) {
+	// 2x3 A, Aᵀx with x of length 2
+	a := []float64{1, 2, 3, 4, 5, 6} // columns: [1,2], [3,4], [5,6]
+	x := []float64{1, 1}
+	y := make([]float64, 3)
+	Dgemv(true, 2, 3, 1, a, 2, x, 0, y)
+	want := []float64{3, 7, 11}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("trans gemv: %v", y)
+		}
+	}
+}
+
+func TestDgemmAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		m, k, n := 1+r.Intn(6), 1+r.Intn(6), 1+r.Intn(6)
+		a := make([]float64, m*k)
+		b := make([]float64, k*n)
+		c := make([]float64, m*n)
+		for i := range a {
+			a[i] = r.Float64()
+		}
+		for i := range b {
+			b[i] = r.Float64()
+		}
+		for i := range c {
+			c[i] = r.Float64()
+		}
+		want := make([]float64, m*n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				s := 0.0
+				for l := 0; l < k; l++ {
+					s += a[l*m+i] * b[j*k+l]
+				}
+				want[j*m+i] = 2*s + 0.5*c[j*m+i]
+			}
+		}
+		got := append([]float64(nil), c...)
+		Dgemm(m, n, k, 2, a, m, b, k, 0.5, got, m)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				t.Fatalf("trial %d: C[%d] = %g, want %g", trial, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package builtins
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/mat"
+)
+
+func init() {
+	// Constants. The builtin i (and j) is the imaginary unit, the very
+	// symbol whose ambiguity the paper's Figure 2 and the mandel analysis
+	// discuss.
+	registerConst("pi", mat.Scalar(math.Pi))
+	registerConst("e", mat.Scalar(math.E))
+	registerConst("eps", mat.Scalar(2.220446049250313e-16))
+	registerConst("Inf", mat.Scalar(math.Inf(1)))
+	registerConst("inf", mat.Scalar(math.Inf(1)))
+	registerConst("NaN", mat.Scalar(math.NaN()))
+	registerConst("nan", mat.Scalar(math.NaN()))
+	registerConst("i", mat.ComplexScalar(complex(0, 1)))
+	registerConst("j", mat.ComplexScalar(complex(0, 1)))
+	registerConst("true", mat.BoolScalar(true))
+	registerConst("false", mat.BoolScalar(false))
+
+	register("disp", 1, 1, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		fmt.Fprintln(ctx.Out, args[0].String())
+		return []*mat.Value{mat.Empty()}, nil
+	})
+
+	register("fprintf", 1, -1, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		s, err := formatPrintf(args)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprint(ctx.Out, s)
+		return []*mat.Value{mat.Scalar(float64(len(s)))}, nil
+	})
+
+	register("sprintf", 1, -1, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		s, err := formatPrintf(args)
+		if err != nil {
+			return nil, err
+		}
+		return []*mat.Value{mat.FromString(s)}, nil
+	})
+
+	register("num2str", 1, 1, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		return []*mat.Value{mat.FromString(args[0].String())}, nil
+	})
+
+	register("error", 1, -1, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		s, err := formatPrintf(args)
+		if err != nil {
+			return nil, err
+		}
+		return nil, mat.Errorf("%s", s)
+	})
+
+	// tic/toc: no-op timers kept for source compatibility; the harness
+	// measures externally.
+	register("tic", 0, 0, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		return []*mat.Value{mat.Empty()}, nil
+	})
+	register("toc", 0, 0, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		return []*mat.Value{mat.Scalar(0)}, nil
+	})
+}
+
+func registerConst(name string, v *mat.Value) {
+	register(name, 0, 0, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		return []*mat.Value{v}, nil
+	})
+}
+
+// formatPrintf implements the MATLAB printf subset: %d %i %g %e %f %s %c
+// with width/precision flags, plus \n \t \\ escapes. Matrix arguments
+// supply elements one at a time; the format recycles while arguments
+// remain, as in MATLAB.
+func formatPrintf(args []*mat.Value) (string, error) {
+	if args[0].Kind() != mat.Char {
+		return "", mat.Errorf("fprintf: first argument must be a format string")
+	}
+	format := args[0].Text()
+	// Flatten remaining args into a queue of scalar-or-string items.
+	type item struct {
+		num float64
+		str string
+		isS bool
+	}
+	var queue []item
+	for _, a := range args[1:] {
+		if a.Kind() == mat.Char {
+			queue = append(queue, item{str: a.Text(), isS: true})
+			continue
+		}
+		for _, x := range a.Re() {
+			queue = append(queue, item{num: x})
+		}
+	}
+	var b strings.Builder
+	qi := 0
+	pass := func() error {
+		i := 0
+		for i < len(format) {
+			c := format[i]
+			switch c {
+			case '\\':
+				if i+1 < len(format) {
+					switch format[i+1] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case 'r':
+						b.WriteByte('\r')
+					case '\\':
+						b.WriteByte('\\')
+					default:
+						b.WriteByte(format[i+1])
+					}
+					i += 2
+					continue
+				}
+				b.WriteByte(c)
+				i++
+			case '%':
+				if i+1 < len(format) && format[i+1] == '%' {
+					b.WriteByte('%')
+					i += 2
+					continue
+				}
+				j := i + 1
+				for j < len(format) && strings.ContainsRune("-+ 0123456789.", rune(format[j])) {
+					j++
+				}
+				if j >= len(format) {
+					return mat.Errorf("fprintf: malformed format")
+				}
+				verb := format[j]
+				spec := format[i : j+1]
+				if qi >= len(queue) {
+					return mat.Errorf("fprintf: not enough arguments for format")
+				}
+				it := queue[qi]
+				qi++
+				switch verb {
+				case 'd', 'i':
+					fmt.Fprintf(&b, strings.Replace(spec, string(verb), "d", 1), int64(it.num))
+				case 'f', 'e', 'E', 'g', 'G':
+					fmt.Fprintf(&b, spec, it.num)
+				case 's':
+					if it.isS {
+						fmt.Fprintf(&b, spec, it.str)
+					} else {
+						fmt.Fprintf(&b, spec, fmt.Sprintf("%g", it.num))
+					}
+				case 'c':
+					fmt.Fprintf(&b, strings.Replace(spec, "c", "c", 1), rune(it.num))
+				default:
+					return mat.Errorf("fprintf: unsupported verb %%%c", verb)
+				}
+				i = j + 1
+			default:
+				b.WriteByte(c)
+				i++
+			}
+		}
+		return nil
+	}
+	if err := pass(); err != nil {
+		return "", err
+	}
+	// Recycle the format while numeric arguments remain (MATLAB rule).
+	for qi < len(queue) && strings.ContainsRune(format, '%') {
+		before := qi
+		if err := pass(); err != nil {
+			return "", err
+		}
+		if qi == before {
+			break
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,163 @@
+package builtins
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// reduce applies a columnwise reduction: vectors reduce to a scalar,
+// matrices to a 1 x cols row vector, per MATLAB.
+func reduce(a *mat.Value, init float64, f func(acc, x float64) float64) *mat.Value {
+	if a.IsEmpty() {
+		return mat.Scalar(init)
+	}
+	if a.IsVector() {
+		acc := init
+		for _, x := range a.Re() {
+			acc = f(acc, x)
+		}
+		return mat.Scalar(acc)
+	}
+	out := mat.New(1, a.Cols())
+	for c := 0; c < a.Cols(); c++ {
+		acc := init
+		for r := 0; r < a.Rows(); r++ {
+			acc = f(acc, a.At(r, c))
+		}
+		out.Re()[c] = acc
+	}
+	return out
+}
+
+// extremum implements max/min with MATLAB's three call forms:
+// m = max(v); [m,i] = max(v); m = max(a,b).
+func extremum(name string, better func(a, b float64) bool) Impl {
+	return func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		if len(args) == 2 {
+			out, err := binMap(args[0], args[1], func(x, y float64) float64 {
+				if math.IsNaN(x) {
+					return y
+				}
+				if math.IsNaN(y) {
+					return x
+				}
+				if better(x, y) {
+					return x
+				}
+				return y
+			})
+			return out, err
+		}
+		a := args[0]
+		if a.IsEmpty() {
+			return []*mat.Value{mat.Empty(), mat.Empty()}, nil
+		}
+		sel := func(col []float64) (float64, int) {
+			bi := 0
+			bv := col[0]
+			for i := 1; i < len(col); i++ {
+				if math.IsNaN(bv) || (!math.IsNaN(col[i]) && better(col[i], bv)) {
+					bv, bi = col[i], i
+				}
+			}
+			return bv, bi
+		}
+		if a.IsVector() {
+			v, i := sel(a.Re())
+			return []*mat.Value{mat.Scalar(v), mat.IntScalar(float64(i + 1))}, nil
+		}
+		vals := mat.New(1, a.Cols())
+		idxs := mat.NewKind(mat.Int, 1, a.Cols())
+		for c := 0; c < a.Cols(); c++ {
+			col := a.Re()[c*a.Rows() : (c+1)*a.Rows()]
+			v, i := sel(col)
+			vals.Re()[c] = v
+			idxs.Re()[c] = float64(i + 1)
+		}
+		return []*mat.Value{vals, idxs}, nil
+	}
+}
+
+func init() {
+	register("sum", 1, 1, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		a := args[0]
+		if a.Kind() == mat.Complex {
+			return complexSum(a)
+		}
+		return []*mat.Value{reduce(a, 0, func(acc, x float64) float64 { return acc + x })}, nil
+	})
+	register("prod", 1, 1, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		return []*mat.Value{reduce(args[0], 1, func(acc, x float64) float64 { return acc * x })}, nil
+	})
+	register("mean", 1, 1, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		a := args[0]
+		s := reduce(a, 0, func(acc, x float64) float64 { return acc + x })
+		n := float64(a.Rows())
+		if a.IsVector() {
+			n = float64(a.Numel())
+		}
+		return []*mat.Value{scale(s, 1/n)}, nil
+	})
+	register("max", 1, 2, 2, extremum("max", func(a, b float64) bool { return a > b }))
+	register("min", 1, 2, 2, extremum("min", func(a, b float64) bool { return a < b }))
+
+	register("any", 1, 1, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		v := reduce(args[0], 0, func(acc, x float64) float64 {
+			if acc != 0 || x != 0 {
+				return 1
+			}
+			return 0
+		})
+		return []*mat.Value{asBool(v)}, nil
+	})
+	register("all", 1, 1, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
+		v := reduce(args[0], 1, func(acc, x float64) float64 {
+			if acc != 0 && x != 0 {
+				return 1
+			}
+			return 0
+		})
+		return []*mat.Value{asBool(v)}, nil
+	})
+}
+
+func complexSum(a *mat.Value) ([]*mat.Value, error) {
+	sumCol := func(re, im []float64) (float64, float64) {
+		var sr, si float64
+		for i := range re {
+			sr += re[i]
+			si += im[i]
+		}
+		return sr, si
+	}
+	if a.IsVector() {
+		sr, si := sumCol(a.Re(), a.Im())
+		return []*mat.Value{mat.ComplexScalar(complex(sr, si)).Demote()}, nil
+	}
+	out := mat.NewKind(mat.Complex, 1, a.Cols())
+	for c := 0; c < a.Cols(); c++ {
+		sr, si := sumCol(a.Re()[c*a.Rows():(c+1)*a.Rows()], a.Im()[c*a.Rows():(c+1)*a.Rows()])
+		out.Re()[c] = sr
+		out.Im()[c] = si
+	}
+	return []*mat.Value{out.Demote()}, nil
+}
+
+func scale(v *mat.Value, f float64) *mat.Value {
+	out := mat.New(v.Rows(), v.Cols())
+	for i, x := range v.Re() {
+		out.Re()[i] = x * f
+	}
+	return out
+}
+
+func asBool(v *mat.Value) *mat.Value {
+	out := mat.NewKind(mat.Bool, v.Rows(), v.Cols())
+	for i, x := range v.Re() {
+		if x != 0 {
+			out.Re()[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	file, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Funcs) > 0 {
+		return Build(file.Funcs[0].Body)
+	}
+	return Build(file.Stmts)
+}
+
+// checkInvariants verifies edge symmetry and dense IDs.
+func checkInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	for i, b := range g.Blocks {
+		if b.ID != i {
+			t.Fatalf("block %d has ID %d", i, b.ID)
+		}
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge B%d→B%d lacks pred backlink", b.ID, s.ID)
+			}
+		}
+		if b.Cond != nil && len(b.Succs) != 2 {
+			t.Fatalf("cond block B%d has %d successors", b.ID, len(b.Succs))
+		}
+		if b.ForHead != nil && len(b.Succs) != 2 {
+			t.Fatalf("for-head B%d has %d successors", b.ID, len(b.Succs))
+		}
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x = 1;\ny = 2;\nz = x + y;")
+	checkInvariants(t, g)
+	// entry holds all three statements, flows to exit
+	if len(g.Entry.Stmts) != 3 {
+		t.Fatalf("entry has %d stmts", len(g.Entry.Stmts))
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatal("entry must flow to exit")
+	}
+}
+
+func TestIfElseShape(t *testing.T) {
+	g := build(t, `
+if c > 0
+  x = 1;
+else
+  x = 2;
+end
+y = x;`)
+	checkInvariants(t, g)
+	var cond *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			cond = b
+		}
+	}
+	if cond == nil {
+		t.Fatal("no condition block")
+	}
+	// both branches reach the block holding y = x
+	if len(cond.Succs) != 2 {
+		t.Fatal("if needs two successors")
+	}
+}
+
+func TestWhileBackedge(t *testing.T) {
+	g := build(t, `
+k = 0;
+while k < 5
+  k = k + 1;
+end
+r = k;`)
+	checkInvariants(t, g)
+	// some block must have a successor with a smaller or equal ID
+	// reachable again (the backedge to the condition)
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no loop head")
+	}
+	backedge := false
+	for _, p := range head.Preds {
+		// the body block is a pred of the head besides the entry side
+		for _, s := range p.Succs {
+			if s == head && p != g.Entry {
+				backedge = true
+			}
+		}
+	}
+	if !backedge {
+		t.Fatal("while loop lacks a backedge")
+	}
+}
+
+func TestBreakContinueTargets(t *testing.T) {
+	g := build(t, `
+s = 0;
+for i = 1:10
+  if i == 3
+    continue;
+  end
+  if i == 7
+    break;
+  end
+  s = s + i;
+end
+t = s;`)
+	checkInvariants(t, g)
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.ForHead != nil {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no for head")
+	}
+	// continue produces an extra pred on the head; break produces an
+	// extra pred on the after-block (head's false successor)
+	after := head.Succs[1]
+	if len(after.Preds) < 2 {
+		t.Errorf("break edge missing: after-block has %d preds", len(after.Preds))
+	}
+	if len(head.Preds) < 3 {
+		t.Errorf("continue edge missing: head has %d preds", len(head.Preds))
+	}
+}
+
+func TestReturnEdges(t *testing.T) {
+	g := build(t, `
+function y = f(x)
+  y = 0;
+  if x > 0
+    y = 1;
+    return;
+  end
+  y = 2;
+end`)
+	checkInvariants(t, g)
+	// the return block must flow to exit
+	if len(g.Exit.Preds) < 2 {
+		t.Errorf("exit has %d preds; return edge missing", len(g.Exit.Preds))
+	}
+}
+
+func TestSwitchLowering(t *testing.T) {
+	g := build(t, `
+switch x
+case 1
+  y = 1;
+case 2
+  y = 2;
+otherwise
+  y = 3;
+end
+z = y;`)
+	checkInvariants(t, g)
+	conds := 0
+	for _, b := range g.Blocks {
+		if b.Cond != nil {
+			conds++
+		}
+	}
+	if conds != 2 {
+		t.Errorf("switch with 2 cases lowered to %d condition blocks", conds)
+	}
+}
+
+func TestUnreachableAfterReturnPruned(t *testing.T) {
+	g := build(t, `
+function y = f(x)
+  y = 1;
+  return;
+end`)
+	checkInvariants(t, g)
+	for _, b := range g.Blocks {
+		if b != g.Entry && b != g.Exit && len(b.Preds) == 0 && len(b.Stmts) > 0 {
+			t.Errorf("unreachable populated block survived pruning: %v", b.ID)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := build(t, "for i = 1:3\n  s = i;\nend")
+	out := g.String()
+	if !strings.Contains(out, "for i") || !strings.Contains(out, "(entry)") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+var _ = ast.Print // keep the ast import for debugging helpers

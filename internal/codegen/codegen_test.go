@@ -1,0 +1,291 @@
+package codegen
+
+import (
+	"testing"
+
+	"repro/internal/cfg"
+	"repro/internal/disambig"
+	"repro/internal/infer"
+	"repro/internal/ir"
+	"repro/internal/parser"
+	"repro/internal/types"
+)
+
+func compileFn(t *testing.T, src string, params map[string]types.Type, cfg_ Config) *ir.Prog {
+	t.Helper()
+	file, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := file.Funcs[0]
+	g := cfg.Build(fn.Body)
+	tbl := disambig.Analyze(g, fn.Ins, nil)
+	if params == nil {
+		params = map[string]types.Type{}
+	}
+	res := infer.Forward(g, params, infer.Opts{})
+	prog, err := Compile(fn, res, tbl, cfg_)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func count(p *ir.Prog, ops ...ir.Op) int {
+	n := 0
+	for _, in := range p.Ins {
+		for _, op := range ops {
+			if in.Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Subscript-check removal (paper §2.4): provably in-bounds accesses use
+// unchecked loads/stores; unprovable ones keep the checks.
+func TestSubscriptCheckRemoval(t *testing.T) {
+	const src = `
+function s = f()
+  A = zeros(10, 10);
+  s = 0;
+  for i = 1:10
+    for j = 1:10
+      A(i,j) = i + j;
+    end
+  end
+  for i = 1:10
+    for j = 1:10
+      s = s + A(i,j);
+    end
+  end
+end`
+	p := compileFn(t, src, nil, DefaultConfig())
+	if n := count(p, ir.OpFLd2); n != 0 {
+		t.Errorf("%d checked loads remain with provable bounds:\n%s", n, p.Disasm())
+	}
+	if n := count(p, ir.OpFLd2U); n == 0 {
+		t.Error("no unchecked loads emitted")
+	}
+	if n := count(p, ir.OpFSt2); n != 0 {
+		t.Errorf("%d checked stores remain with provable bounds", n)
+	}
+}
+
+func TestChecksStayWithoutRanges(t *testing.T) {
+	const src = `
+function s = f(n)
+  A = zeros(n, n);
+  s = 0;
+  for i = 1:n
+    for j = 1:n
+      s = s + A(i,j) + 1;
+      A(i,j) = s;
+    end
+  end
+end`
+	// n has an unknown range → bounds unprovable → checked accesses
+	p := compileFn(t, src, map[string]types.Type{
+		"n": types.ScalarOf(types.IInt, types.RangeTop),
+	}, DefaultConfig())
+	if n := count(p, ir.OpFLd2U, ir.OpFSt2U); n != 0 {
+		t.Errorf("%d unchecked accesses without provable bounds:\n%s", n, p.Disasm())
+	}
+	if n := count(p, ir.OpFLd2, ir.OpFSt2); n == 0 {
+		t.Error("expected checked accesses")
+	}
+	// with a constant n the checks disappear
+	p = compileFn(t, src, map[string]types.Type{
+		"n": types.ScalarOf(types.IInt, types.Const(50)),
+	}, DefaultConfig())
+	if n := count(p, ir.OpFLd2); n != 0 {
+		t.Errorf("constant-size matrix still has %d checked loads", n)
+	}
+}
+
+// Small-vector unrolling (paper §2.6.1).
+func TestSmallVectorUnrolling(t *testing.T) {
+	const src = `
+function s = f()
+  a = [1 2 3];
+  b = [4 5 6];
+  c = a + b;
+  s = c(1);
+end`
+	p := compileFn(t, src, nil, DefaultConfig())
+	if n := count(p, ir.OpGBin); n != 0 {
+		t.Errorf("generic op used for small exact-shape add:\n%s", p.Disasm())
+	}
+	// with unrolling disabled the generic path returns
+	cfgNo := DefaultConfig()
+	cfgNo.UnrollSmallVectors = false
+	p = compileFn(t, src, nil, cfgNo)
+	if n := count(p, ir.OpGBin); n == 0 {
+		t.Error("expected a generic op with unrolling disabled")
+	}
+}
+
+// dgemv fusion (paper §2.6.1).
+func TestGEMVFusion(t *testing.T) {
+	const src = `
+function r = f(A, x, b)
+  r = b - A*x;
+end`
+	params := map[string]types.Type{
+		"A": types.Exact(types.IReal, 50, 50, types.RangeTop),
+		"x": types.Exact(types.IReal, 50, 1, types.RangeTop),
+		"b": types.Exact(types.IReal, 50, 1, types.RangeTop),
+	}
+	p := compileFn(t, src, params, DefaultConfig())
+	if n := count(p, ir.OpGEMV); n != 1 {
+		t.Errorf("expected one fused gemv, got %d:\n%s", n, p.Disasm())
+	}
+	if n := count(p, ir.OpGBin); n != 0 {
+		t.Errorf("generic ops remain after fusion: %d", n)
+	}
+	cfgNo := DefaultConfig()
+	cfgNo.FuseGEMV = false
+	p = compileFn(t, src, params, cfgNo)
+	if n := count(p, ir.OpGEMV); n != 0 {
+		t.Error("gemv emitted with fusion disabled")
+	}
+}
+
+// Storage classes: int scalars in I registers, real scalars in F,
+// complex scalars in C, matrices boxed in V.
+func TestStorageClasses(t *testing.T) {
+	const src = `
+function s = f(n)
+  x = 1.5;
+  z = 0*i;
+  A = zeros(3, 3);
+  s = 0;
+  for k = 1:n
+    z = z + x;
+    s = s + k;
+  end
+  s = s + real(z) + A(1,1);
+end`
+	p := compileFn(t, src, map[string]types.Type{
+		"n": types.ScalarOf(types.IInt, types.RangeTop),
+	}, DefaultConfig())
+	if count(p, ir.OpIAdd) == 0 {
+		t.Error("integer loop arithmetic missing")
+	}
+	if count(p, ir.OpCAdd) == 0 {
+		t.Error("complex scalar arithmetic missing")
+	}
+	if count(p, ir.OpFAdd) == 0 {
+		t.Error("float arithmetic missing")
+	}
+}
+
+// Scalar math inlining: sin on a real scalar is an FMath instruction,
+// not a builtin dispatch.
+func TestScalarMathInlined(t *testing.T) {
+	const src = `
+function y = f(x)
+  y = sin(x) + sqrt(abs(x));
+end`
+	p := compileFn(t, src, map[string]types.Type{
+		"x": types.ScalarOf(types.IReal, types.RangeTop),
+	}, DefaultConfig())
+	if count(p, ir.OpFMath) < 3 {
+		t.Errorf("math functions not inlined:\n%s", p.Disasm())
+	}
+	if count(p, ir.OpGBuiltin) != 0 {
+		t.Errorf("builtin dispatch used for inlinable math:\n%s", p.Disasm())
+	}
+}
+
+// mcc-style generic compilation: everything through boxed ops.
+func TestGenericCompilation(t *testing.T) {
+	const src = `
+function s = f(a, b)
+  s = a*b + a - b;
+end`
+	file, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := file.Funcs[0]
+	g := cfg.Build(fn.Body)
+	tbl := disambig.Analyze(g, fn.Ins, nil)
+	res := infer.Forward(g, map[string]types.Type{"a": types.Top, "b": types.Top},
+		infer.Opts{AllTop: true})
+	cfgGen := DefaultConfig()
+	cfgGen.UnrollSmallVectors = false
+	cfgGen.FuseGEMV = false
+	p, err := Compile(fn, res, tbl, cfgGen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count(p, ir.OpGBin) != 3 {
+		t.Errorf("generic compile should use 3 boxed ops, got %d:\n%s",
+			count(p, ir.OpGBin), p.Disasm())
+	}
+	if count(p, ir.OpFAdd, ir.OpFMul, ir.OpFSub, ir.OpIAdd, ir.OpIMul) != 0 {
+		t.Error("typed scalar ops in an all-⊤ compilation")
+	}
+}
+
+// Unsupported constructs must fail with ErrUnsupported (the engine falls
+// back to interpretation).
+func TestUnsupportedFallsBack(t *testing.T) {
+	for _, src := range []string{
+		"function y = f(x)\n  global g\n  y = g;\nend",
+		"function y = f(x)\n  clear x\n  y = 1;\nend",
+	} {
+		file, err := parser.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fn := file.Funcs[0]
+		g := cfg.Build(fn.Body)
+		tbl := disambig.Analyze(g, fn.Ins, nil)
+		res := infer.Forward(g, map[string]types.Type{"x": types.Top}, infer.Opts{})
+		_, err = Compile(fn, res, tbl, DefaultConfig())
+		if err == nil {
+			t.Errorf("%q must fail to compile", src)
+			continue
+		}
+		if _, ok := err.(*ErrUnsupported); !ok {
+			t.Errorf("%q: error %T, want *ErrUnsupported", src, err)
+		}
+	}
+}
+
+// Loop unrolling (the optimizing backend's flag) replicates the body.
+func TestLoopUnrollGrowsBody(t *testing.T) {
+	const src = `
+function s = f()
+  s = 0;
+  for i = 1:100
+    s = s + i*i;
+  end
+end`
+	plain := compileFn(t, src, nil, DefaultConfig())
+	cfgU := DefaultConfig()
+	cfgU.UnrollLoops = 4
+	unrolled := compileFn(t, src, nil, cfgU)
+	if len(unrolled.Ins) <= len(plain.Ins) {
+		t.Errorf("unrolled program not larger: %d vs %d", len(unrolled.Ins), len(plain.Ins))
+	}
+	// bodies with break must not unroll
+	const withBreak = `
+function s = f()
+  s = 0;
+  for i = 1:100
+    if i > 50
+      break;
+    end
+    s = s + i;
+  end
+end`
+	a := compileFn(t, withBreak, nil, DefaultConfig())
+	b := compileFn(t, withBreak, nil, cfgU)
+	if len(a.Ins) != len(b.Ins) {
+		t.Error("loop with break must not unroll")
+	}
+}

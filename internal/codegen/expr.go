@@ -1,0 +1,468 @@
+package codegen
+
+import (
+	"repro/internal/ast"
+	"repro/internal/builtins"
+	"repro/internal/disambig"
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// expr compiles an expression, returning the bank and register holding
+// its value. The bank is chosen from the inference annotation: typed
+// scalar results live unboxed in F/I/C registers (the paper's "replace
+// MATLAB's polymorphic operations with single machine instructions"),
+// everything else is a boxed V value.
+func (g *gen) expr(e ast.Expr) (ir.Bank, int32) {
+	switch x := e.(type) {
+	case *ast.NumberLit:
+		if x.Imag {
+			d := g.newReg(ir.BankC)
+			g.prog.CPool = append(g.prog.CPool, complex(0, x.Value))
+			g.emit(ir.Instr{Op: ir.OpCConst, A: d, B: int32(len(g.prog.CPool) - 1)})
+			return ir.BankC, d
+		}
+		if x.IsInt {
+			d := g.newReg(ir.BankI)
+			g.emit(ir.Instr{Op: ir.OpIConst, A: d, Imm: x.Value})
+			return ir.BankI, d
+		}
+		d := g.newReg(ir.BankF)
+		g.emit(ir.Instr{Op: ir.OpFConst, A: d, Imm: x.Value})
+		return ir.BankF, d
+
+	case *ast.StringLit:
+		d := g.newReg(ir.BankV)
+		g.emit(ir.Instr{Op: ir.OpVConst, A: d, B: g.vconst(VConst{Str: x.Value})})
+		return ir.BankV, d
+
+	case *ast.Ident:
+		if g.isVarUse(x) {
+			if s, ok := g.vars[x.Name]; ok {
+				return s.bank, s.reg
+			}
+		}
+		return g.nonVarIdent(x)
+
+	case *ast.Binary:
+		return g.binary(x)
+
+	case *ast.Unary:
+		return g.unary(x)
+
+	case *ast.Transpose:
+		return g.transpose(x)
+
+	case *ast.Range:
+		lb, lr := g.expr(x.Lo)
+		lo := g.toV(lb, lr)
+		var step int32
+		if x.Step != nil {
+			sb, sr := g.expr(x.Step)
+			step = g.toV(sb, sr)
+		} else {
+			f := g.newReg(ir.BankF)
+			g.emit(ir.Instr{Op: ir.OpFConst, A: f, Imm: 1})
+			step = g.toV(ir.BankF, f)
+		}
+		hb, hr := g.expr(x.Hi)
+		hi := g.toV(hb, hr)
+		d := g.newReg(ir.BankV)
+		g.emit(ir.Instr{Op: ir.OpGColon, A: d, B: lo, C: step, D: hi})
+		return ir.BankV, d
+
+	case *ast.End:
+		return g.endValue(x)
+
+	case *ast.Colon:
+		panic(unsupported("':' outside a subscript"))
+
+	case *ast.Call:
+		return g.call(x)
+
+	case *ast.Matrix:
+		return g.matrixLit(x)
+	}
+	panic(unsupported("expression %T", e))
+}
+
+// isVarUse reports whether the disambiguator classified the identifier
+// occurrence as a variable.
+func (g *gen) isVarUse(x *ast.Ident) bool {
+	m, ok := g.tbl.Uses[x]
+	if !ok {
+		_, isVar := g.vars[x.Name]
+		return isVar
+	}
+	return m == disambig.Variable
+}
+
+// nonVarIdent compiles an identifier that names a builtin constant or a
+// niladic function call.
+func (g *gen) nonVarIdent(x *ast.Ident) (ir.Bank, int32) {
+	ann := g.annOf(x)
+	// Constant-folded builtin constants (pi, eps, true, ...).
+	if c, ok := ann.R.IsConst(); ok && ann.IsScalar() && types.LeqI(ann.I, types.IReal) {
+		if types.LeqI(ann.I, types.IInt) {
+			d := g.newReg(ir.BankI)
+			g.emit(ir.Instr{Op: ir.OpIConst, A: d, Imm: c})
+			return ir.BankI, d
+		}
+		d := g.newReg(ir.BankF)
+		g.emit(ir.Instr{Op: ir.OpFConst, A: d, Imm: c})
+		return ir.BankF, d
+	}
+	if x.Name == "i" || x.Name == "j" {
+		d := g.newReg(ir.BankC)
+		g.prog.CPool = append(g.prog.CPool, complex(0, 1))
+		g.emit(ir.Instr{Op: ir.OpCConst, A: d, B: int32(len(g.prog.CPool) - 1)})
+		return ir.BankC, d
+	}
+	if builtins.Lookup(x.Name) != nil {
+		return ir.BankV, g.emitBuiltinByName(x.Name, nil, 1)[0]
+	}
+	// Niladic user function call.
+	return ir.BankV, g.emitUserCallByName(x.Name, nil, 1)[0]
+}
+
+// scalarArith reports whether a binary op on these annotations can use
+// typed scalar instructions, and in which bank.
+func (g *gen) scalarArith(res, l, r types.Type) (ir.Bank, bool) {
+	if !res.IsScalar() || !l.IsScalar() || !r.IsScalar() {
+		return ir.BankV, false
+	}
+	switch {
+	case types.LeqI(res.I, types.IInt):
+		return ir.BankI, true
+	case types.LeqI(res.I, types.IReal):
+		return ir.BankF, true
+	case types.LeqI(res.I, types.ICplx):
+		return ir.BankC, true
+	}
+	return ir.BankV, false
+}
+
+func (g *gen) binary(x *ast.Binary) (ir.Bank, int32) {
+	ann := g.annOf(x)
+	lt, rt := g.annOf(x.L), g.annOf(x.R)
+
+	// Short-circuit logicals.
+	if x.Op == ast.OpAndAnd || x.Op == ast.OpOrOr {
+		return g.shortCircuit(x)
+	}
+
+	if bank, ok := g.scalarArith(ann, lt, rt); ok {
+		return g.scalarBinary(x, bank)
+	}
+
+	// dgemv fusion: y ± A*x and A*x (real matrix × vector).
+	if g.cfg.FuseGEMV {
+		if b, r, ok := g.tryGEMV(x); ok {
+			return b, r
+		}
+	}
+
+	// Fully unrolled elementwise ops on small exactly-shaped operands.
+	if g.cfg.UnrollSmallVectors {
+		if b, r, ok := g.tryUnrollElemwise(x); ok {
+			return b, r
+		}
+	}
+
+	// Generic fallback: boxed operands, polymorphic library call.
+	lb, lr := g.expr(x.L)
+	lv := g.toV(lb, lr)
+	rb, rr := g.expr(x.R)
+	rv := g.toV(rb, rr)
+	d := g.newReg(ir.BankV)
+	g.emit(ir.Instr{Op: ir.OpGBin, A: d, B: lv, C: rv, D: int32(x.Op)})
+	return ir.BankV, d
+}
+
+// scalarBinary emits typed scalar instructions.
+func (g *gen) scalarBinary(x *ast.Binary, bank ir.Bank) (ir.Bank, int32) {
+	lb, lr := g.expr(x.L)
+	rb, rr := g.expr(x.R)
+
+	if x.Op.IsRelational() {
+		// Complex equality uses C compares; ordering uses F.
+		if lb == ir.BankC || rb == ir.BankC {
+			if x.Op == ast.OpEq || x.Op == ast.OpNe {
+				a, b := g.toC(lb, lr), g.toC(rb, rr)
+				d := g.newReg(ir.BankF)
+				op := ir.OpCCmpEq
+				if x.Op == ast.OpNe {
+					op = ir.OpCCmpNe
+				}
+				g.emit(ir.Instr{Op: op, A: d, B: a, C: b})
+				return ir.BankF, d
+			}
+			lb, lr = ir.BankF, g.toF(lb, lr)
+			rb, rr = ir.BankF, g.toF(rb, rr)
+		}
+		if lb == ir.BankI && rb == ir.BankI {
+			d := g.newReg(ir.BankF)
+			var op ir.Op
+			a, b := lr, rr
+			switch x.Op {
+			case ast.OpEq:
+				op = ir.OpICmpEq
+			case ast.OpNe:
+				op = ir.OpICmpNe
+			case ast.OpLt:
+				op = ir.OpICmpLt
+			case ast.OpLe:
+				op = ir.OpICmpLe
+			case ast.OpGt:
+				op, a, b = ir.OpICmpLt, rr, lr
+			case ast.OpGe:
+				op, a, b = ir.OpICmpLe, rr, lr
+			}
+			g.emit(ir.Instr{Op: op, A: d, B: a, C: b})
+			return ir.BankF, d
+		}
+		a, b := g.toF(lb, lr), g.toF(rb, rr)
+		d := g.newReg(ir.BankF)
+		var op ir.Op
+		switch x.Op {
+		case ast.OpEq:
+			op = ir.OpFCmpEq
+		case ast.OpNe:
+			op = ir.OpFCmpNe
+		case ast.OpLt:
+			op = ir.OpFCmpLt
+		case ast.OpLe:
+			op = ir.OpFCmpLe
+		case ast.OpGt:
+			op, a, b = ir.OpFCmpLt, b, a
+		case ast.OpGe:
+			op, a, b = ir.OpFCmpLe, b, a
+		}
+		g.emit(ir.Instr{Op: op, A: d, B: a, C: b})
+		return ir.BankF, d
+	}
+
+	if x.Op == ast.OpAnd || x.Op == ast.OpOr {
+		a, b := g.toF(lb, lr), g.toF(rb, rr)
+		d := g.newReg(ir.BankF)
+		op := ir.OpFAnd
+		if x.Op == ast.OpOr {
+			op = ir.OpFOr
+		}
+		g.emit(ir.Instr{Op: op, A: d, B: a, C: b})
+		return ir.BankF, d
+	}
+
+	switch bank {
+	case ir.BankI:
+		a, b := g.toI(lb, lr), g.toI(rb, rr)
+		d := g.newReg(ir.BankI)
+		switch x.Op {
+		case ast.OpAdd:
+			g.emit(ir.Instr{Op: ir.OpIAdd, A: d, B: a, C: b})
+		case ast.OpSub:
+			g.emit(ir.Instr{Op: ir.OpISub, A: d, B: a, C: b})
+		case ast.OpMul, ast.OpEMul:
+			g.emit(ir.Instr{Op: ir.OpIMul, A: d, B: a, C: b})
+		case ast.OpPow, ast.OpEPow:
+			// int^int via float pow, result known integral
+			fa, fb := g.toF(ir.BankI, a), g.toF(ir.BankI, b)
+			fd := g.newReg(ir.BankF)
+			g.emit(ir.Instr{Op: ir.OpFPow, A: fd, B: fa, C: fb})
+			g.emit(ir.Instr{Op: ir.OpFtoI, A: d, B: fd})
+		default:
+			// int division etc. falls through to float
+			fa, fb := g.toF(ir.BankI, a), g.toF(ir.BankI, b)
+			return g.scalarFloatOp(x.Op, fa, fb)
+		}
+		return ir.BankI, d
+
+	case ir.BankF:
+		a, b := g.toF(lb, lr), g.toF(rb, rr)
+		return g.scalarFloatOp(x.Op, a, b)
+
+	case ir.BankC:
+		a, b := g.toC(lb, lr), g.toC(rb, rr)
+		d := g.newReg(ir.BankC)
+		switch x.Op {
+		case ast.OpAdd:
+			g.emit(ir.Instr{Op: ir.OpCAdd, A: d, B: a, C: b})
+		case ast.OpSub:
+			g.emit(ir.Instr{Op: ir.OpCSub, A: d, B: a, C: b})
+		case ast.OpMul, ast.OpEMul:
+			g.emit(ir.Instr{Op: ir.OpCMul, A: d, B: a, C: b})
+		case ast.OpDiv, ast.OpEDiv:
+			g.emit(ir.Instr{Op: ir.OpCDiv, A: d, B: a, C: b})
+		case ast.OpLDiv, ast.OpELDiv:
+			g.emit(ir.Instr{Op: ir.OpCDiv, A: d, B: b, C: a})
+		case ast.OpPow, ast.OpEPow:
+			g.emit(ir.Instr{Op: ir.OpCPow, A: d, B: a, C: b})
+		default:
+			panic(unsupported("complex scalar op %v", x.Op))
+		}
+		return ir.BankC, d
+	}
+	panic(unsupported("scalar op %v", x.Op))
+}
+
+func (g *gen) scalarFloatOp(op ast.BinOp, a, b int32) (ir.Bank, int32) {
+	d := g.newReg(ir.BankF)
+	switch op {
+	case ast.OpAdd:
+		g.emit(ir.Instr{Op: ir.OpFAdd, A: d, B: a, C: b})
+	case ast.OpSub:
+		g.emit(ir.Instr{Op: ir.OpFSub, A: d, B: a, C: b})
+	case ast.OpMul, ast.OpEMul:
+		g.emit(ir.Instr{Op: ir.OpFMul, A: d, B: a, C: b})
+	case ast.OpDiv, ast.OpEDiv:
+		g.emit(ir.Instr{Op: ir.OpFDiv, A: d, B: a, C: b})
+	case ast.OpLDiv, ast.OpELDiv:
+		g.emit(ir.Instr{Op: ir.OpFDiv, A: d, B: b, C: a})
+	case ast.OpPow, ast.OpEPow:
+		g.emit(ir.Instr{Op: ir.OpFPow, A: d, B: a, C: b})
+	default:
+		panic(unsupported("float scalar op %v", op))
+	}
+	return ir.BankF, d
+}
+
+// shortCircuit compiles && and || with lazy right-operand evaluation.
+func (g *gen) shortCircuit(x *ast.Binary) (ir.Bank, int32) {
+	d := g.newReg(ir.BankF)
+	if x.Op == ast.OpAndAnd {
+		falseP := g.condFalsePatches(x.L)
+		falseP = append(falseP, g.condFalsePatches(x.R)...)
+		g.emit(ir.Instr{Op: ir.OpFConst, A: d, Imm: 1})
+		over := g.emit(ir.Instr{Op: ir.OpJmp})
+		g.patch(falseP, g.here())
+		g.emit(ir.Instr{Op: ir.OpFConst, A: d, Imm: 0})
+		g.patch([]int{over}, g.here())
+		return ir.BankF, d
+	}
+	falseL := g.condFalsePatches(x.L)
+	// L true:
+	g.emit(ir.Instr{Op: ir.OpFConst, A: d, Imm: 1})
+	overTrue := g.emit(ir.Instr{Op: ir.OpJmp})
+	g.patch(falseL, g.here())
+	falseR := g.condFalsePatches(x.R)
+	g.emit(ir.Instr{Op: ir.OpFConst, A: d, Imm: 1})
+	over2 := g.emit(ir.Instr{Op: ir.OpJmp})
+	g.patch(falseR, g.here())
+	g.emit(ir.Instr{Op: ir.OpFConst, A: d, Imm: 0})
+	g.patch([]int{overTrue, over2}, g.here())
+	return ir.BankF, d
+}
+
+func (g *gen) unary(x *ast.Unary) (ir.Bank, int32) {
+	ann := g.annOf(x)
+	b, r := g.expr(x.X)
+	switch x.Op {
+	case ast.OpNeg:
+		if ann.IsScalar() {
+			switch {
+			case types.LeqI(ann.I, types.IInt) && b == ir.BankI:
+				d := g.newReg(ir.BankI)
+				g.emit(ir.Instr{Op: ir.OpINeg, A: d, B: r})
+				return ir.BankI, d
+			case types.LeqI(ann.I, types.IReal):
+				f := g.toF(b, r)
+				d := g.newReg(ir.BankF)
+				g.emit(ir.Instr{Op: ir.OpFNeg, A: d, B: f})
+				return ir.BankF, d
+			case types.LeqI(ann.I, types.ICplx):
+				c := g.toC(b, r)
+				d := g.newReg(ir.BankC)
+				g.emit(ir.Instr{Op: ir.OpCNeg, A: d, B: c})
+				return ir.BankC, d
+			}
+		}
+		v := g.toV(b, r)
+		d := g.newReg(ir.BankV)
+		g.emit(ir.Instr{Op: ir.OpGUn, A: d, B: v, D: unNeg})
+		return ir.BankV, d
+	case ast.OpPos:
+		if b != ir.BankV {
+			return b, r
+		}
+		d := g.newReg(ir.BankV)
+		g.emit(ir.Instr{Op: ir.OpGUn, A: d, B: r, D: unPos})
+		return ir.BankV, d
+	case ast.OpNot:
+		if ann.IsScalar() && b != ir.BankV {
+			f := g.toF(b, r)
+			d := g.newReg(ir.BankF)
+			g.emit(ir.Instr{Op: ir.OpFNot, A: d, B: f})
+			return ir.BankF, d
+		}
+		v := g.toV(b, r)
+		d := g.newReg(ir.BankV)
+		g.emit(ir.Instr{Op: ir.OpGUn, A: d, B: v, D: unNot})
+		return ir.BankV, d
+	}
+	panic(unsupported("unary %v", x.Op))
+}
+
+// Unary op codes for OpGUn.
+const (
+	unNeg int32 = iota
+	unPos
+	unNot
+	unTrans  // .'
+	unCTrans // '
+)
+
+func (g *gen) transpose(x *ast.Transpose) (ir.Bank, int32) {
+	ann := g.annOf(x)
+	b, r := g.expr(x.X)
+	if ann.IsScalar() && b != ir.BankV {
+		if b == ir.BankC && x.Conjugate {
+			d := g.newReg(ir.BankC)
+			g.emit(ir.Instr{Op: ir.OpCConj, A: d, B: r})
+			return ir.BankC, d
+		}
+		return b, r // real scalar transpose is the identity
+	}
+	v := g.toV(b, r)
+	d := g.newReg(ir.BankV)
+	code := unTrans
+	if x.Conjugate {
+		code = unCTrans
+	}
+	g.emit(ir.Instr{Op: ir.OpGUn, A: d, B: v, D: code})
+	return ir.BankV, d
+}
+
+// endValue compiles the 'end' keyword from the enclosing index context.
+func (g *gen) endValue(x *ast.End) (ir.Bank, int32) {
+	if len(g.endCtx) == 0 {
+		panic(unsupported("'end' outside a subscript"))
+	}
+	ctx := g.endCtx[len(g.endCtx)-1]
+	d := g.newReg(ir.BankI)
+	switch {
+	case ctx.ndims == 1:
+		g.emit(ir.Instr{Op: ir.OpVNumel, A: d, B: ctx.baseReg})
+	case x.Dim == 0:
+		g.emit(ir.Instr{Op: ir.OpVRows, A: d, B: ctx.baseReg})
+	default:
+		g.emit(ir.Instr{Op: ir.OpVCols, A: d, B: ctx.baseReg})
+	}
+	return ir.BankI, d
+}
+
+type endCtx struct {
+	baseReg int32
+	ndims   int
+}
+
+// exprWithEnd compiles a subscript expression with 'end' bound to the
+// base of call.
+func (g *gen) exprWithEnd(e ast.Expr, call *ast.Call) (ir.Bank, int32) {
+	base, ok := g.vars[call.Name]
+	if !ok || base.bank != ir.BankV {
+		return g.expr(e)
+	}
+	g.endCtx = append(g.endCtx, endCtx{baseReg: base.reg, ndims: len(call.Args)})
+	defer func() { g.endCtx = g.endCtx[:len(g.endCtx)-1] }()
+	return g.expr(e)
+}

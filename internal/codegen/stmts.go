@@ -1,0 +1,577 @@
+package codegen
+
+import (
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+func (g *gen) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		g.stmt(s)
+	}
+}
+
+func (g *gen) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		b, r := g.expr(x.X)
+		if ans, ok := g.vars["ans"]; ok {
+			if b == ir.BankV && g.isVarReg(r) {
+				// ans aliases a variable: mark shared so indexed writes
+				// through either binding copy first.
+				g.emit(ir.Instr{Op: ir.OpVMarkShared, A: r})
+			}
+			g.move(ans, b, r)
+		}
+
+	case *ast.Assign:
+		g.assign(x)
+
+	case *ast.If:
+		g.ifStmt(x)
+
+	case *ast.While:
+		g.whileStmt(x)
+
+	case *ast.For:
+		g.forStmt(x)
+
+	case *ast.Switch:
+		g.switchStmt(x)
+
+	case *ast.Break:
+		if len(g.breakPatches) == 0 {
+			panic(unsupported("break outside a loop"))
+		}
+		at := g.emit(ir.Instr{Op: ir.OpJmp})
+		top := len(g.breakPatches) - 1
+		g.breakPatches[top] = append(g.breakPatches[top], at)
+
+	case *ast.Continue:
+		if len(g.continuePatches) == 0 {
+			panic(unsupported("continue outside a loop"))
+		}
+		at := g.emit(ir.Instr{Op: ir.OpJmp})
+		top := len(g.continuePatches) - 1
+		g.continuePatches[top] = append(g.continuePatches[top], at)
+
+	case *ast.Return:
+		at := g.emit(ir.Instr{Op: ir.OpJmp})
+		g.returnPatches = append(g.returnPatches, at)
+
+	case *ast.Global:
+		panic(unsupported("global in compiled function"))
+	case *ast.Clear:
+		panic(unsupported("clear in compiled function"))
+	default:
+		panic(unsupported("statement %T", s))
+	}
+}
+
+// move stores a value into a variable slot with conversion. For V-class
+// targets the value is moved by reference; callers that need value
+// semantics (B = A) emit OpVClone instead. A V-class move from a fresh
+// temporary uses swap semantics: the temp register inherits the
+// variable's old buffer so OpVEnsure can recycle it on the next loop
+// iteration (the paper's pre-allocated temporaries).
+func (g *gen) move(dst slot, b ir.Bank, r int32) {
+	cv := g.to(dst.bank, b, r)
+	if cv == dst.reg {
+		return
+	}
+	switch dst.bank {
+	case ir.BankF:
+		g.emit(ir.Instr{Op: ir.OpFMov, A: dst.reg, B: cv})
+	case ir.BankI:
+		g.emit(ir.Instr{Op: ir.OpIMov, A: dst.reg, B: cv})
+	case ir.BankC:
+		g.emit(ir.Instr{Op: ir.OpCMov, A: dst.reg, B: cv})
+	default:
+		if g.isVarReg(cv) {
+			g.emit(ir.Instr{Op: ir.OpVMov, A: dst.reg, B: cv})
+		} else {
+			g.emit(ir.Instr{Op: ir.OpVMovSwap, A: dst.reg, B: cv})
+		}
+	}
+}
+
+// isVarReg reports whether a V register is a variable's home slot (as
+// opposed to an expression temporary).
+func (g *gen) isVarReg(r int32) bool {
+	for _, s := range g.vars {
+		if s.bank == ir.BankV && s.reg == r {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *gen) assign(x *ast.Assign) {
+	if len(x.LHS) > 1 {
+		g.multiAssign(x)
+		return
+	}
+	switch lhs := x.LHS[0].(type) {
+	case *ast.Ident:
+		dst, ok := g.vars[lhs.Name]
+		if !ok {
+			panic(unsupported("assignment to unknown variable %s", lhs.Name))
+		}
+		b, r := g.expr(x.RHS)
+		if dst.bank == ir.BankV && b == ir.BankV {
+			// Value semantics: copying a variable must not alias it.
+			if _, isVar := x.RHS.(*ast.Ident); isVar {
+				g.emit(ir.Instr{Op: ir.OpVClone, A: dst.reg, B: r})
+				return
+			}
+		}
+		g.move(dst, b, r)
+
+	case *ast.Call:
+		g.indexedAssign(lhs, x.RHS)
+
+	default:
+		panic(unsupported("assignment target %T", lhs))
+	}
+}
+
+func (g *gen) multiAssign(x *ast.Assign) {
+	call, ok := x.RHS.(*ast.Call)
+	if !ok {
+		panic(unsupported("multi-assignment from non-call"))
+	}
+	nout := len(x.LHS)
+	var outs []int32
+	switch call.Kind {
+	case ast.CallBuiltin:
+		outs = g.emitBuiltin(call, nout)
+	case ast.CallUser:
+		outs = g.emitUserCall(call, nout)
+	default:
+		panic(unsupported("multi-assignment from %v", call.Kind))
+	}
+	for i, l := range x.LHS {
+		switch lhs := l.(type) {
+		case *ast.Ident:
+			dst, ok := g.vars[lhs.Name]
+			if !ok {
+				panic(unsupported("assignment to unknown variable %s", lhs.Name))
+			}
+			g.move(dst, ir.BankV, outs[i])
+		case *ast.Call:
+			g.indexedAssignFromReg(lhs, ir.BankV, outs[i])
+		default:
+			panic(unsupported("multi-assignment target %T", l))
+		}
+	}
+}
+
+// indexedAssign compiles A(subs...) = rhs.
+func (g *gen) indexedAssign(lhs *ast.Call, rhs ast.Expr) {
+	base, ok := g.vars[lhs.Name]
+	if !ok || base.bank != ir.BankV {
+		panic(unsupported("indexed assignment to non-array %s", lhs.Name))
+	}
+	baseT := g.baseTypeOf(lhs)
+
+	// Typed store path: scalar rhs, scalar subscripts, real data.
+	if g.typedStorePossible(lhs, rhs, baseT) {
+		rb, rr := g.expr(rhs)
+		fr := g.toF(rb, rr)
+		g.emit(ir.Instr{Op: ir.OpVEnsureOwn, A: base.reg})
+		g.emitTypedStore(lhs, base, baseT, fr)
+		return
+	}
+	rb, rr := g.expr(rhs)
+	g.indexedAssignFromReg(lhs, rb, rr)
+}
+
+func (g *gen) indexedAssignFromReg(lhs *ast.Call, rb ir.Bank, rr int32) {
+	base, ok := g.vars[lhs.Name]
+	if !ok || base.bank != ir.BankV {
+		panic(unsupported("indexed assignment to non-array %s", lhs.Name))
+	}
+	rv := g.toV(rb, rr)
+	args := g.boxedSubscripts(lhs)
+	aux := make([]int32, 0, len(args)+1)
+	aux = append(aux, int32(len(args)))
+	aux = append(aux, args...)
+	at := g.prog.AddAux(aux...)
+	g.emit(ir.Instr{Op: ir.OpGAssign, A: base.reg, C: at, D: rv})
+}
+
+// boxedSubscripts compiles each subscript into a V register; colons
+// load the colon marker constant.
+func (g *gen) boxedSubscripts(call *ast.Call) []int32 {
+	out := make([]int32, len(call.Args))
+	for i, a := range call.Args {
+		if _, isColon := a.(*ast.Colon); isColon {
+			d := g.newReg(ir.BankV)
+			g.emit(ir.Instr{Op: ir.OpVConst, A: d, B: g.vconst(VConst{IsColon: true})})
+			out[i] = d
+			continue
+		}
+		b, r := g.exprWithEnd(a, call)
+		out[i] = g.toV(b, r)
+	}
+	return out
+}
+
+// --- control flow -------------------------------------------------------------
+
+// condFalsePatches compiles a branch that jumps when cond is false,
+// returning instruction indices whose C field needs the target.
+func (g *gen) condFalsePatches(cond ast.Expr) []int {
+	// Fused relational compare-and-branch on typed scalars.
+	if bin, ok := cond.(*ast.Binary); ok && bin.Op.IsRelational() {
+		lt, rt := g.annOf(bin.L), g.annOf(bin.R)
+		if lt.IsScalar() && rt.IsScalar() &&
+			types.LeqI(lt.I, types.IReal) && types.LeqI(rt.I, types.IReal) {
+			lb, lr := g.expr(bin.L)
+			rb, rr := g.expr(bin.R)
+			useI := lb == ir.BankI && rb == ir.BankI
+			var a, b int32
+			if useI {
+				a, b = g.toI(lb, lr), g.toI(rb, rr)
+			} else {
+				a, b = g.toF(lb, lr), g.toF(rb, rr)
+			}
+			// Branch on the NEGATION of the condition. Floats use the
+			// dedicated negated ops so NaN comparisons behave like
+			// MATLAB (any comparison with NaN is false).
+			var op ir.Op
+			swap := false
+			if useI {
+				switch bin.Op {
+				case ast.OpLt: // !(a<b) == b<=a on integers
+					op, swap = ir.OpBrILe, true
+				case ast.OpLe:
+					op, swap = ir.OpBrILt, true
+				case ast.OpGt:
+					op, swap = ir.OpBrILe, false
+				case ast.OpGe:
+					op, swap = ir.OpBrILt, false
+				case ast.OpEq:
+					op = ir.OpBrINe
+				case ast.OpNe:
+					op = ir.OpBrIEq
+				}
+			} else {
+				switch bin.Op {
+				case ast.OpLt:
+					op = ir.OpBrFNLt
+				case ast.OpLe:
+					op = ir.OpBrFNLe
+				case ast.OpGt: // !(a>b) == !(b<a)
+					op, swap = ir.OpBrFNLt, true
+				case ast.OpGe:
+					op, swap = ir.OpBrFNLe, true
+				case ast.OpEq:
+					op = ir.OpBrFNe
+				case ast.OpNe:
+					op = ir.OpBrFEq
+				}
+			}
+			if swap {
+				a, b = b, a
+			}
+			at := g.emit(ir.Instr{Op: op, A: a, B: b})
+			return []int{at}
+		}
+	}
+	// Short-circuit && splits into two branches.
+	if bin, ok := cond.(*ast.Binary); ok && bin.Op == ast.OpAndAnd {
+		p1 := g.condFalsePatches(bin.L)
+		p2 := g.condFalsePatches(bin.R)
+		return append(p1, p2...)
+	}
+	if bin, ok := cond.(*ast.Binary); ok && bin.Op == ast.OpOrOr {
+		// if either true → fall through: jump over the second test.
+		truePatches := g.condTruePatches(bin.L)
+		falsePatches := g.condFalsePatches(bin.R)
+		g.patch(truePatches, g.here())
+		return falsePatches
+	}
+	b, r := g.expr(cond)
+	if b == ir.BankV {
+		at := g.emit(ir.Instr{Op: ir.OpBrFalseV, A: r})
+		return []int{at}
+	}
+	fr := g.toF(b, r)
+	at := g.emit(ir.Instr{Op: ir.OpBrFalseF, A: fr})
+	return []int{at}
+}
+
+// condTruePatches emits a jump taken when cond is true.
+func (g *gen) condTruePatches(cond ast.Expr) []int {
+	b, r := g.expr(cond)
+	if b == ir.BankV {
+		at := g.emit(ir.Instr{Op: ir.OpBrTrueV, A: r})
+		return []int{at}
+	}
+	fr := g.toF(b, r)
+	at := g.emit(ir.Instr{Op: ir.OpBrTrueF, A: fr})
+	return []int{at}
+}
+
+func (g *gen) patch(patches []int, target int) {
+	for _, at := range patches {
+		in := &g.prog.Ins[at]
+		if in.Op == ir.OpJmp {
+			in.A = int32(target)
+		} else {
+			in.C = int32(target)
+		}
+	}
+}
+
+func (g *gen) ifStmt(x *ast.If) {
+	var endPatches []int
+	for i, cond := range x.Conds {
+		falseP := g.condFalsePatches(cond)
+		g.stmts(x.Blocks[i])
+		at := g.emit(ir.Instr{Op: ir.OpJmp})
+		endPatches = append(endPatches, at)
+		g.patch(falseP, g.here())
+	}
+	if x.Else != nil {
+		g.stmts(x.Else)
+	}
+	g.patch(endPatches, g.here())
+}
+
+func (g *gen) whileStmt(x *ast.While) {
+	head := g.here()
+	falseP := g.condFalsePatches(x.Cond)
+	g.pushLoop()
+	g.stmts(x.Body)
+	contP, brkP := g.popLoop()
+	g.patch(contP, g.here())
+	g.emit(ir.Instr{Op: ir.OpJmp, A: int32(head)})
+	end := g.here()
+	g.patch(falseP, end)
+	g.patch(brkP, end)
+}
+
+func (g *gen) pushLoop() {
+	g.breakPatches = append(g.breakPatches, nil)
+	g.continuePatches = append(g.continuePatches, nil)
+}
+
+func (g *gen) popLoop() (contP, brkP []int) {
+	top := len(g.breakPatches) - 1
+	brkP = g.breakPatches[top]
+	contP = g.continuePatches[top]
+	g.breakPatches = g.breakPatches[:top]
+	g.continuePatches = g.continuePatches[:top]
+	return contP, brkP
+}
+
+func (g *gen) switchStmt(x *ast.Switch) {
+	subjT := g.annOf(x.Subject)
+	if !subjT.IsScalar() || !types.LeqI(subjT.I, types.IReal) {
+		panic(unsupported("switch on non-scalar subject"))
+	}
+	sb, sr := g.expr(x.Subject)
+	sf := g.toF(sb, sr)
+	var endPatches []int
+	for i, cv := range x.CaseVals {
+		cb, cr := g.expr(cv)
+		cf := g.toF(cb, cr)
+		at := g.emit(ir.Instr{Op: ir.OpBrFNe, A: sf, B: cf})
+		g.stmts(x.CaseBlks[i])
+		j := g.emit(ir.Instr{Op: ir.OpJmp})
+		endPatches = append(endPatches, j)
+		g.patch([]int{at}, g.here())
+	}
+	if x.Otherwise != nil {
+		g.stmts(x.Otherwise)
+	}
+	g.patch(endPatches, g.here())
+}
+
+func (g *gen) forStmt(x *ast.For) {
+	dst, ok := g.vars[x.Var]
+	if !ok {
+		panic(unsupported("loop variable %s has no slot", x.Var))
+	}
+	r, isRange := x.Iter.(*ast.Range)
+	if isRange {
+		loT := g.annOf(r.Lo)
+		hiT := g.annOf(r.Hi)
+		stepT := types.ScalarOf(types.IInt, types.Const(1))
+		if r.Step != nil {
+			stepT = g.annOf(r.Step)
+		}
+		scalarBounds := loT.IsScalar() && hiT.IsScalar() && stepT.IsScalar() &&
+			types.LeqI(loT.I, types.IReal) && types.LeqI(hiT.I, types.IReal) && types.LeqI(stepT.I, types.IReal)
+		if scalarBounds {
+			g.forRange(x, r, loT, stepT, hiT, dst)
+			return
+		}
+	}
+	// General form: iterate the columns of a materialized iterand.
+	ib, ir0 := g.expr(x.Iter)
+	iter := g.toV(ib, ir0)
+	cols := g.newReg(ir.BankI)
+	g.emit(ir.Instr{Op: ir.OpVCols, A: cols, B: iter})
+	k := g.newReg(ir.BankI)
+	one := g.newReg(ir.BankI)
+	g.emit(ir.Instr{Op: ir.OpIConst, A: one, Imm: 1})
+	g.emit(ir.Instr{Op: ir.OpIConst, A: k, Imm: 1})
+	head := g.here()
+	exit := g.emit(ir.Instr{Op: ir.OpBrILt, A: cols, B: k}) // cols < k → done
+	// var = iter(:, k)
+	colonReg := g.newReg(ir.BankV)
+	g.emit(ir.Instr{Op: ir.OpVConst, A: colonReg, B: g.vconst(VConst{IsColon: true})})
+	kBox := g.newReg(ir.BankV)
+	g.emit(ir.Instr{Op: ir.OpBoxI, A: kBox, B: k})
+	col := g.newReg(ir.BankV)
+	aux := g.prog.AddAux(2, colonReg, kBox)
+	g.emit(ir.Instr{Op: ir.OpGIndex, A: col, B: iter, C: aux})
+	g.move(dst, ir.BankV, col)
+	g.pushLoop()
+	g.stmts(x.Body)
+	contP, brkP := g.popLoop()
+	g.patch(contP, g.here())
+	g.emit(ir.Instr{Op: ir.OpIAdd, A: k, B: k, C: one})
+	g.emit(ir.Instr{Op: ir.OpJmp, A: int32(head)})
+	end := g.here()
+	g.patch([]int{exit}, end)
+	g.patch(brkP, end)
+}
+
+// forRange compiles for v = lo:step:hi over typed scalars. Iteration
+// count and values follow the same formula as mat.Colon so compiled and
+// interpreted runs agree bit for bit: v_k = lo + k*step for k = 0..n.
+func (g *gen) forRange(x *ast.For, r *ast.Range, loT, stepT, hiT types.Type, dst slot) {
+	intMode := types.LeqI(loT.I, types.IInt) && types.LeqI(stepT.I, types.IInt) &&
+		types.LeqI(hiT.I, types.IInt) && dst.bank == ir.BankI
+
+	lb, lr := g.expr(r.Lo)
+	loF := g.toF(lb, lr)
+	var stepF int32
+	if r.Step != nil {
+		sb, sr := g.expr(r.Step)
+		stepF = g.toF(sb, sr)
+	} else {
+		stepF = g.newReg(ir.BankF)
+		g.emit(ir.Instr{Op: ir.OpFConst, A: stepF, Imm: 1})
+	}
+	hb, hr := g.expr(r.Hi)
+	hiF := g.toF(hb, hr)
+
+	zero := g.newReg(ir.BankF)
+	g.emit(ir.Instr{Op: ir.OpFConst, A: zero, Imm: 0})
+
+	var skips []int
+	// step == 0 → empty
+	skips = append(skips, g.emit(ir.Instr{Op: ir.OpBrFEq, A: stepF, B: zero}))
+	// step > 0 && lo > hi → empty: encoded as two tests
+	posTest := g.emit(ir.Instr{Op: ir.OpBrFLe, A: stepF, B: zero}) // step <= 0 → check negative case
+	skips = append(skips, g.emit(ir.Instr{Op: ir.OpBrFLt, A: hiF, B: loF}))
+	skipNeg := g.emit(ir.Instr{Op: ir.OpJmp})
+	g.patch([]int{posTest}, g.here())
+	skips = append(skips, g.emit(ir.Instr{Op: ir.OpBrFLt, A: loF, B: hiF}))
+	g.patch([]int{skipNeg}, g.here())
+
+	// n = floor((hi-lo)/step + 1e-10); k = 0..n
+	diff := g.newReg(ir.BankF)
+	g.emit(ir.Instr{Op: ir.OpFSub, A: diff, B: hiF, C: loF})
+	quot := g.newReg(ir.BankF)
+	g.emit(ir.Instr{Op: ir.OpFDiv, A: quot, B: diff, C: stepF})
+	epsc := g.newReg(ir.BankF)
+	g.emit(ir.Instr{Op: ir.OpFConst, A: epsc, Imm: 1e-10})
+	sum := g.newReg(ir.BankF)
+	g.emit(ir.Instr{Op: ir.OpFAdd, A: sum, B: quot, C: epsc})
+	fl := g.newReg(ir.BankF)
+	g.emit(ir.Instr{Op: ir.OpFMath, A: fl, B: sum, C: g.mathID("floor")})
+	n := g.newReg(ir.BankI)
+	g.emit(ir.Instr{Op: ir.OpFtoI, A: n, B: fl})
+
+	k := g.newReg(ir.BankI)
+	g.emit(ir.Instr{Op: ir.OpIConst, A: k, Imm: 0})
+	one := g.newReg(ir.BankI)
+	g.emit(ir.Instr{Op: ir.OpIConst, A: one, Imm: 1})
+
+	var loI, stepI int32
+	if intMode {
+		loI = g.toI(ir.BankF, loF)
+		stepI = g.toI(ir.BankF, stepF)
+	}
+
+	// One iteration chunk: v = lo + k*step; body; k++.
+	iteration := func() (contP, brkP []int) {
+		if intMode {
+			t := g.newReg(ir.BankI)
+			g.emit(ir.Instr{Op: ir.OpIMul, A: t, B: k, C: stepI})
+			g.emit(ir.Instr{Op: ir.OpIAdd, A: dst.reg, B: loI, C: t})
+		} else {
+			kf := g.newReg(ir.BankF)
+			g.emit(ir.Instr{Op: ir.OpItoF, A: kf, B: k})
+			t := g.newReg(ir.BankF)
+			g.emit(ir.Instr{Op: ir.OpFMul, A: t, B: kf, C: stepF})
+			v := g.newReg(ir.BankF)
+			g.emit(ir.Instr{Op: ir.OpFAdd, A: v, B: loF, C: t})
+			g.move(dst, ir.BankF, v)
+		}
+		g.pushLoop()
+		g.stmts(x.Body)
+		contP, brkP = g.popLoop()
+		g.patch(contP, g.here())
+		g.emit(ir.Instr{Op: ir.OpIAdd, A: k, B: k, C: one})
+		return contP, brkP
+	}
+
+	// Unrolled main loop for the optimizing backend: replicate the body
+	// U times per trip-count check. Bodies with break/continue keep the
+	// simple form.
+	unroll := g.cfg.UnrollLoops
+	if unroll > 1 && !bodyHasJumps(x.Body) {
+		uLim := g.newReg(ir.BankI)
+		g.emit(ir.Instr{Op: ir.OpIConst, A: uLim, Imm: float64(unroll - 1)})
+		mainHead := g.here()
+		t := g.newReg(ir.BankI)
+		g.emit(ir.Instr{Op: ir.OpIAdd, A: t, B: k, C: uLim})
+		toRem := g.emit(ir.Instr{Op: ir.OpBrILt, A: n, B: t}) // n < k+U-1 → remainder
+		for u := 0; u < unroll; u++ {
+			iteration()
+		}
+		g.emit(ir.Instr{Op: ir.OpJmp, A: int32(mainHead)})
+		g.patch([]int{toRem}, g.here())
+		// remainder loop
+		remHead := g.here()
+		exit := g.emit(ir.Instr{Op: ir.OpBrILt, A: n, B: k})
+		iteration()
+		g.emit(ir.Instr{Op: ir.OpJmp, A: int32(remHead)})
+		end := g.here()
+		g.patch([]int{exit}, end)
+		g.patch(skips, end)
+		return
+	}
+
+	head := g.here()
+	exit := g.emit(ir.Instr{Op: ir.OpBrILt, A: n, B: k}) // n < k → done
+	_, brkP := iteration()
+	g.emit(ir.Instr{Op: ir.OpJmp, A: int32(head)})
+	end := g.here()
+	g.patch([]int{exit}, end)
+	g.patch(skips, end)
+	g.patch(brkP, end)
+}
+
+// bodyHasJumps reports whether a statement list contains break,
+// continue or return anywhere (at any nesting depth within this
+// function's loops — conservative but cheap).
+func bodyHasJumps(body []ast.Stmt) bool {
+	found := false
+	ast.WalkStmts(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.Break, *ast.Continue, *ast.Return:
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,25 @@
+package core
+
+import "testing"
+
+func TestAnsDoesNotAliasVariable(t *testing.T) {
+	src := `
+function y = f()
+  x = [1 2 3];
+  x;
+  x(1) = 99;
+  y = ans(1)*100 + x(1);
+end`
+	for _, tier := range []Tier{TierInterp, TierJIT, TierFalcon} {
+		e := New(Options{Tier: tier, Seed: 1})
+		if err := e.Define(src); err != nil {
+			t.Fatal(err)
+		}
+		outs, err := e.Call("f", nil, 1)
+		if err != nil {
+			t.Fatalf("[%s] %v", tier, err)
+		}
+		// ans must keep the pre-mutation value 1
+		wantScalar(t, outs[0], 1*100+99)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/cfg"
+	"repro/internal/codegen"
+	"repro/internal/disambig"
+	"repro/internal/infer"
+	"repro/internal/inline"
+	"repro/internal/opt"
+	"repro/internal/regalloc"
+	"repro/internal/types"
+	"repro/internal/vm"
+)
+
+// LookupFunction also serves the inliner.
+var _ inline.Resolver = (*Engine)(nil)
+
+// pipelineOpts selects the code generation pipeline variant.
+type pipelineOpts struct {
+	// optimize runs the backend optimization passes — the stand-in for
+	// the native C/Fortran compiler behind the "source" code generator.
+	optimize bool
+	// generic disables type-driven code selection extras (mcc tier).
+	generic bool
+}
+
+// compile runs the full compiler (Figure 1 of the paper): inliner →
+// disambiguator → type inference → code generation, accumulating
+// per-phase times for the Figure 6 decomposition.
+func (e *Engine) compile(fn *ast.Function, sig types.Signature, po pipelineOpts) (*vm.Compiled, error) {
+	if len(sig) != len(fn.Ins) {
+		return nil, &codegen.ErrUnsupported{Reason: "arity mismatch between signature and formals"}
+	}
+
+	// Pass 1+2: inlining and disambiguation.
+	t0 := time.Now()
+	work := fn
+	if !e.opts.DisableInlining && !po.generic {
+		work = inline.Expand(fn, e)
+	}
+	g := cfg.Build(work.Body)
+	tbl := disambig.Analyze(g, work.Ins, disambig.ResolverFunc(func(name string) bool {
+		return e.funcs[name] != nil
+	}))
+	e.timing.Disambig += time.Since(t0).Nanoseconds()
+	if tbl.HasAmbiguous {
+		return nil, &codegen.ErrUnsupported{Reason: "ambiguous or undefined symbols"}
+	}
+
+	// Pass 3: type inference.
+	t1 := time.Now()
+	params := make(map[string]types.Type, len(work.Ins))
+	for i, p := range work.Ins {
+		params[p] = sig[i]
+	}
+	res := infer.Forward(g, params, e.inferOptsFor(po))
+	e.timing.TypeInf += time.Since(t1).Nanoseconds()
+
+	// Pass 4: code generation (+ backend optimization + regalloc).
+	t2 := time.Now()
+	ccfg := e.codegenConfig(po)
+	prog, err := codegen.Compile(work, res, tbl, ccfg)
+	if err != nil {
+		e.timing.Codegen += time.Since(t2).Nanoseconds()
+		return nil, err
+	}
+	if po.optimize {
+		opt.Run(prog, e.optConfig())
+	}
+	ra := regalloc.DefaultOptions()
+	ra.SpillAll = e.opts.SpillAll
+	regalloc.Allocate(prog, ra)
+	code, err := vm.Prepare(prog)
+	e.timing.Codegen += time.Since(t2).Nanoseconds()
+	if err != nil {
+		return nil, err
+	}
+	return code, nil
+}
+
+func (e *Engine) inferOpts() infer.Opts {
+	return infer.Opts{
+		NoRanges:    e.opts.DisableRanges,
+		NoMinShapes: e.opts.DisableMinShapes,
+	}
+}
+
+func (e *Engine) inferOptsFor(po pipelineOpts) infer.Opts {
+	o := e.inferOpts()
+	o.AllTop = po.generic
+	return o
+}
+
+// codegenConfig models the platform- and tier-specific code selection
+// behaviour (DESIGN.md §2): the mcc tier compiles generically; on the
+// MIPS platform the JIT code generator is immature (the paper: "The
+// JIT compiler on this platform is not yet completely implemented",
+// with benchmarks running "at reduced performance due to the poor
+// quality of the generated code"), so it loses its vector unrolling
+// and dgemv fusion there.
+func (e *Engine) codegenConfig(po pipelineOpts) codegen.Config {
+	cfg := codegen.DefaultConfig()
+	if po.generic {
+		cfg.UnrollSmallVectors = false
+		cfg.FuseGEMV = false
+	}
+	if e.opts.Platform == PlatformMIPS && !po.optimize {
+		cfg.UnrollSmallVectors = false
+		cfg.FuseGEMV = false
+	}
+	if po.optimize {
+		cfg.UnrollLoops = e.optConfig().UnrollFactor
+	}
+	if e.opts.DisableGEMV {
+		cfg.FuseGEMV = false
+	}
+	return cfg
+}
+
+// optConfig grades the simulated native backend: the MIPS compiler is
+// "excellent" (deeper unrolling), the SPARC one mediocre.
+func (e *Engine) optConfig() opt.Config {
+	c := opt.DefaultConfig()
+	if e.opts.Platform == PlatformMIPS {
+		c.UnrollFactor = 4
+	} else {
+		c.UnrollFactor = 2
+	}
+	return c
+}
+
+// speculate derives the speculative signature for a function (paper
+// §2.5): backward hint propagation alternating with forward passes.
+func (e *Engine) speculate(fn *ast.Function) (types.Signature, error) {
+	work := fn
+	if !e.opts.DisableInlining {
+		work = inline.Expand(fn, e)
+	}
+	g := cfg.Build(work.Body)
+	tbl := disambig.Analyze(g, work.Ins, disambig.ResolverFunc(func(name string) bool {
+		return e.funcs[name] != nil
+	}))
+	if tbl.HasAmbiguous {
+		return nil, &codegen.ErrUnsupported{Reason: "ambiguous or undefined symbols"}
+	}
+	// The speculator needs the same formals the compile step will see;
+	// speculation maps guesses back onto the original formal list.
+	sig := infer.Speculate(work, g, e.inferOpts())
+	if len(sig) != len(fn.Ins) {
+		return nil, &codegen.ErrUnsupported{Reason: "speculation arity mismatch"}
+	}
+	return sig, nil
+}

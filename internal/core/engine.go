@@ -1,0 +1,290 @@
+// Package core implements the MaJIC engine: the MATLAB-like front end
+// that interprets interactive code, defers function calls to the code
+// repository, and coordinates the compilation tiers the paper evaluates
+// (mcc-style generic compilation, FALCON-style batch compilation, JIT
+// compilation, and speculative ahead-of-time compilation).
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/ast"
+	"repro/internal/builtins"
+	"repro/internal/interp"
+	"repro/internal/mat"
+	"repro/internal/parser"
+)
+
+// Tier selects how function calls are executed.
+type Tier uint8
+
+const (
+	// TierInterp interprets everything: the MATLAB baseline (ti).
+	TierInterp Tier = iota
+	// TierMCC compiles with all parameter types forced to ⊤ — generic
+	// boxed library calls, no type specialization (the mcc comparator).
+	TierMCC
+	// TierFalcon compiles with exact runtime type signatures and the
+	// full optimizing backend, batch style (the FALCON comparator;
+	// compile time is excluded by the harness).
+	TierFalcon
+	// TierJIT compiles at call time with the fast JIT pipeline: exact
+	// signatures, fast type inference, naive code generation.
+	TierJIT
+	// TierSpec uses speculative ahead-of-time compilation: type
+	// signatures guessed by the speculator, optimizing backend; the JIT
+	// covers speculation misses at run time.
+	TierSpec
+)
+
+// String names the tier as the paper's figures do.
+func (t Tier) String() string {
+	switch t {
+	case TierInterp:
+		return "interp"
+	case TierMCC:
+		return "mcc"
+	case TierFalcon:
+		return "falcon"
+	case TierJIT:
+		return "jit"
+	case TierSpec:
+		return "spec"
+	}
+	return fmt.Sprintf("Tier(%d)", uint8(t))
+}
+
+// Platform selects the simulated backend-quality profile used to
+// reproduce the paper's SPARC vs MIPS contrast (see DESIGN.md §2).
+type Platform uint8
+
+const (
+	// PlatformSPARC models the development platform: a mediocre native
+	// compiler, so the optimizing (spec/falcon) backend gains less over
+	// the JIT code generator.
+	PlatformSPARC Platform = iota
+	// PlatformMIPS models an excellent native compiler: the optimizing
+	// backend applies its full pass pipeline plus deeper unrolling.
+	PlatformMIPS
+)
+
+func (p Platform) String() string {
+	if p == PlatformMIPS {
+		return "mips"
+	}
+	return "sparc"
+}
+
+// Options configure an Engine.
+type Options struct {
+	Tier     Tier
+	Platform Platform
+	Out      io.Writer
+	Seed     uint64
+
+	// Optimization switches for the Figure 7 ablations. They affect the
+	// JIT pipeline (and, where meaningful, the optimizing backend).
+	DisableRanges    bool // no range propagation → subscript checks stay
+	DisableMinShapes bool // no minimum-shape propagation → no unrolling
+	SpillAll         bool // register allocator spills every variable
+	DisableInlining  bool // no function inlining
+	// DisableGEMV turns off the a*A*x + b*y → dgemv code selection
+	// (ablation for the fusion rule of §2.6.1).
+	DisableGEMV bool
+	// JITBackendOpts runs the backend optimization passes inside the JIT
+	// pipeline too — the paper's §5 what-if experiment ("room for future
+	// enhancements of the JIT compiler"): compile time is still counted,
+	// so the trade-off between optimization effort and compile latency
+	// becomes measurable.
+	JITBackendOpts bool
+
+	// RecompileThreshold enables the repository's upgrade path ("the
+	// generated code can later be recompiled — and replaced in the
+	// repository — using a better compiler"): once a JIT-compiled entry
+	// has served this many calls, it is recompiled with the optimizing
+	// backend and the better version takes over. 0 disables upgrades
+	// (the default, so the harness's JIT measurements stay pure).
+	RecompileThreshold int
+}
+
+// Engine is the public entry point: a MATLAB workspace plus the code
+// repository and compilation machinery behind it.
+type Engine struct {
+	ctx       *builtins.Context
+	opts      Options
+	funcs     map[string]*ast.Function
+	globals   map[string]*mat.Value
+	workspace *interp.Env
+	in        *interp.Interp
+	repo      *repoState
+	// phase timing for Figure 6
+	timing PhaseTimes
+}
+
+// New creates an Engine.
+func New(opts Options) *Engine {
+	ctx := builtins.NewContext()
+	if opts.Out != nil {
+		ctx.Out = opts.Out
+	}
+	if opts.Seed != 0 {
+		ctx.RNG.Seed(opts.Seed)
+	}
+	e := &Engine{
+		ctx:     ctx,
+		opts:    opts,
+		funcs:   make(map[string]*ast.Function),
+		globals: make(map[string]*mat.Value),
+	}
+	e.workspace = interp.NewEnv(e.globals)
+	e.in = interp.New(e)
+	e.repo = newRepoState(e)
+	return e
+}
+
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Context implements interp.Host.
+func (e *Engine) Context() *builtins.Context { return e.ctx }
+
+// LookupFunction implements interp.Host.
+func (e *Engine) LookupFunction(name string) *ast.Function { return e.funcs[name] }
+
+// Functions returns the names of all registered user functions.
+func (e *Engine) Functions() []string {
+	out := make([]string, 0, len(e.funcs))
+	for n := range e.funcs {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Define registers the functions found in src with the repository (the
+// analog of dropping a .m file into a snooped source directory). Script
+// statements in src are rejected here; use EvalString for those.
+func (e *Engine) Define(src string) error {
+	file, err := parser.Parse(src)
+	if err != nil {
+		return err
+	}
+	if len(file.Stmts) > 0 {
+		return fmt.Errorf("Define: source contains script statements; use EvalString")
+	}
+	for _, fn := range file.Funcs {
+		e.registerFunction(fn)
+	}
+	return nil
+}
+
+func (e *Engine) registerFunction(fn *ast.Function) {
+	e.funcs[fn.Name] = fn
+	e.repo.invalidate(fn.Name)
+}
+
+// Precompile runs the repository's speculative ahead-of-time
+// compilation over every registered function — the paper's scenario
+// where "MaJIC's repository had ample time to find them and compile
+// them speculatively". It is a no-op unless the engine runs TierSpec.
+func (e *Engine) Precompile() {
+	if e.opts.Tier != TierSpec {
+		return
+	}
+	for _, fn := range e.funcs {
+		has := false
+		for _, entry := range e.repo.r.Entries(fn.Name) {
+			if entry.Speculative {
+				has = true
+				break
+			}
+		}
+		if !has {
+			e.repo.precompile(fn)
+		}
+	}
+}
+
+// EvalString parses and executes src in the engine workspace. Function
+// definitions in src are registered; script statements execute in the
+// interactive front end (interpreted, with calls deferred per the tier).
+func (e *Engine) EvalString(src string) error {
+	file, err := parser.Parse(src)
+	if err != nil {
+		return err
+	}
+	for _, fn := range file.Funcs {
+		e.registerFunction(fn)
+	}
+	return e.in.ExecStmts(file.Stmts, e.workspace)
+}
+
+// Workspace returns the value of a workspace variable.
+func (e *Engine) Workspace(name string) (*mat.Value, bool) {
+	return e.workspace.Lookup(name)
+}
+
+// WorkspaceNames returns the names bound in the interactive workspace
+// (the REPL's who command).
+func (e *Engine) WorkspaceNames() []string {
+	names := e.workspace.Names()
+	sort.Strings(names)
+	return names
+}
+
+// SetWorkspace binds a workspace variable.
+func (e *Engine) SetWorkspace(name string, v *mat.Value) {
+	v.MarkShared()
+	e.workspace.Bind(name, v)
+}
+
+// Call invokes the named user function with the given arguments through
+// the engine's execution tier. This is the "invocation" protocol of the
+// paper's front end: the interpreter builds the function name plus
+// parameter values and passes the work to the code repository.
+func (e *Engine) Call(name string, args []*mat.Value, nout int) ([]*mat.Value, error) {
+	return e.CallFunction(name, args, nout)
+}
+
+// CallFunction implements interp.Host: route a function call through
+// the configured tier.
+func (e *Engine) CallFunction(name string, args []*mat.Value, nout int) ([]*mat.Value, error) {
+	fn := e.funcs[name]
+	if fn == nil {
+		return nil, fmt.Errorf("undefined function %q", name)
+	}
+	if nout < 1 {
+		nout = 1
+	}
+	if e.opts.Tier == TierInterp {
+		return e.in.CallFunction(fn, args, nout, e.globals)
+	}
+	return e.repo.invoke(fn, args, nout)
+}
+
+// Interpret runs the function through the interpreter regardless of
+// tier (used by differential tests and the harness baseline).
+func (e *Engine) Interpret(name string, args []*mat.Value, nout int) ([]*mat.Value, error) {
+	fn := e.funcs[name]
+	if fn == nil {
+		return nil, fmt.Errorf("undefined function %q", name)
+	}
+	return e.in.CallFunction(fn, args, nout, e.globals)
+}
+
+// PhaseTimes accumulates per-phase compilation time, reproducing the
+// decomposition of Figure 6 (disambiguation, type inference, code
+// generation) plus execution.
+type PhaseTimes struct {
+	Disambig int64 // nanoseconds
+	TypeInf  int64
+	Codegen  int64
+	Exec     int64
+}
+
+// Timing returns the accumulated phase times.
+func (e *Engine) Timing() PhaseTimes { return e.timing }
+
+// ResetTiming clears accumulated phase times.
+func (e *Engine) ResetTiming() { e.timing = PhaseTimes{} }

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// Edge-case interpreter semantics that the benchmarks rely on.
+
+func TestAnsBinding(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.EvalString("3 + 4;"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := e.Workspace("ans")
+	if !ok {
+		t.Fatal("ans not bound")
+	}
+	wantScalar(t, v, 7)
+	// ans is usable as a variable
+	if err := e.EvalString("x = ans * 2;"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = e.Workspace("x")
+	wantScalar(t, v, 14)
+}
+
+func TestDisplayOutput(t *testing.T) {
+	var b strings.Builder
+	e := New(Options{Tier: TierInterp, Out: &b})
+	if err := e.EvalString("x = 5"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "x =") || !strings.Contains(b.String(), "5") {
+		t.Errorf("display output %q", b.String())
+	}
+	b.Reset()
+	if err := e.EvalString("y = 6;"); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Errorf("suppressed assignment printed %q", b.String())
+	}
+	// disp output has no ans echo
+	b.Reset()
+	if err := e.EvalString("disp(42)"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "ans") {
+		t.Errorf("disp echoed ans: %q", b.String())
+	}
+}
+
+func TestNarginNargout(t *testing.T) {
+	e := newTestEngine(t)
+	err := e.Define(`
+function [a, b] = f(x, y, z)
+  a = nargin;
+  b = nargout;
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := e.Call("f", []*mat.Value{mat.Scalar(1), mat.Scalar(2)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScalar(t, outs[0], 2)
+	wantScalar(t, outs[1], 2)
+}
+
+func TestForOverMatrixColumns(t *testing.T) {
+	wantScalar(t, evalVar(t, `
+A = [1 2 3; 4 5 6];
+s = 0;
+for col = A
+  s = s + col(1)*10 + col(2);
+end
+`, "s"), (10+4)+(20+5)+(30+6))
+}
+
+func TestWhileWithMatrixCondition(t *testing.T) {
+	// a matrix condition is true iff all elements are nonzero
+	wantScalar(t, evalVar(t, `
+v = [1 1 1];
+n = 0;
+while v
+  n = n + 1;
+  v(n) = 0;
+end
+`, "n"), 1)
+}
+
+func TestEmptyLoopLeavesVarUnset(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.EvalString("for q = 1:0\n  x = q;\nend"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Workspace("q"); ok {
+		t.Error("loop variable must stay unset for an empty range")
+	}
+}
+
+func TestLoopVarSurvivesReassignment(t *testing.T) {
+	// the header reassigns the loop variable each iteration, and the
+	// body's last write survives the loop
+	wantScalar(t, evalVar(t, `
+for i = 1:3
+  i = i * 10;
+end
+`, "i"), 30)
+}
+
+func TestCallByValueFunctionArgs(t *testing.T) {
+	e := newTestEngine(t)
+	err := e.Define(`
+function y = clobber(v)
+  v(1) = 999;
+  y = v(1);
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EvalString("a = [1 2 3]; r = clobber(a); keep = a(1);"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := e.Workspace("r")
+	keep, _ := e.Workspace("keep")
+	wantScalar(t, r, 999)
+	wantScalar(t, keep, 1) // caller's array untouched
+}
+
+func TestStringComparisonInSwitch(t *testing.T) {
+	wantScalar(t, evalVar(t, `
+mode = 'fast';
+switch mode
+case 'slow'
+  x = 1;
+case 'fast'
+  x = 2;
+otherwise
+  x = 3;
+end
+`, "x"), 2)
+}
+
+func TestNestedFunctionCalls(t *testing.T) {
+	e := newTestEngine(t)
+	err := e.Define(`
+function y = outer(x)
+  y = middle(x) + 1;
+end
+function y = middle(x)
+  y = inner(x) * 2;
+end
+function y = inner(x)
+  y = x + 10;
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := e.Call("outer", []*mat.Value{mat.Scalar(5)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScalar(t, outs[0], 31)
+}
+
+func TestErrorBuiltinAborts(t *testing.T) {
+	e := newTestEngine(t)
+	err := e.Define(`
+function y = f(x)
+  if x < 0
+    error('negative input %d', x);
+  end
+  y = sqrt(x);
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Call("f", []*mat.Value{mat.Scalar(-4)}, 1); err == nil ||
+		!strings.Contains(err.Error(), "negative input -4") {
+		t.Errorf("error() not propagated: %v", err)
+	}
+	outs, err := e.Call("f", []*mat.Value{mat.Scalar(9)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScalar(t, outs[0], 3)
+}
+
+func TestColonAssignPreservesShape(t *testing.T) {
+	v := evalVar(t, "A = zeros(2,3); A(:) = 7;", "A")
+	if v.Rows() != 2 || v.Cols() != 3 {
+		t.Fatalf("A(:) = x reshaped to %dx%d", v.Rows(), v.Cols())
+	}
+	for _, x := range v.Re() {
+		if x != 7 {
+			t.Fatal("fill failed")
+		}
+	}
+}
+
+func TestVectorIndexAssignment(t *testing.T) {
+	wantScalar(t, evalVar(t, "v = 1:10; v(2:4) = 0; x = sum(v);", "x"), 55-2-3-4)
+	wantScalar(t, evalVar(t, "v = 1:5; w = v([1 3 5]); x = sum(w);", "x"), 9)
+	wantScalar(t, evalVar(t, "A = zeros(3); A(2,:) = [7 8 9]; x = A(2,2);", "x"), 8)
+}
+
+func TestChainedComparisonsAndLogic(t *testing.T) {
+	// MATLAB evaluates (1 < 2) < 3 → 1 < 3 → 1
+	wantScalar(t, evalVar(t, "x = 1 < 2 < 3;", "x"), 1)
+	wantScalar(t, evalVar(t, "x = 3 > 2 == 1;", "x"), 1)
+}
+
+func TestGrowthFromUndefinedInFunction(t *testing.T) {
+	e := newTestEngine(t)
+	err := e.Define(`
+function s = f(n)
+  for i = 1:n
+    acc(i) = i*i;
+  end
+  s = sum(acc);
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := e.Call("f", []*mat.Value{mat.Scalar(4)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScalar(t, outs[0], 1+4+9+16)
+}
+
+func TestCompiledCallsInterpretedFallback(t *testing.T) {
+	// a compiled caller invoking a function that cannot compile (uses
+	// global) must still work through the interpreter fallback
+	e := New(Options{Tier: TierJIT})
+	err := e.Define(`
+function s = top(n)
+  s = 0;
+  for i = 1:n
+    s = s + helper(i);
+  end
+end
+function y = helper(x)
+  global bias
+  y = x + bias;
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EvalString("global bias\nbias = 100;"); err != nil {
+		t.Fatal(err)
+	}
+	outs, err := e.Call("top", []*mat.Value{mat.Scalar(3)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScalar(t, outs[0], 1+2+3+300)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// TestRedefinitionInvalidatesRepository: the paper's repository snoops
+// source and "trigger[s] recompilations when the source code changes".
+// Redefining a function must drop stale compiled entries.
+func TestRedefinitionInvalidatesRepository(t *testing.T) {
+	e := New(Options{Tier: TierJIT, Seed: 2})
+	if err := e.Define("function y = f(x)\n  y = x + 1;\nend"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Call("f", []*mat.Value{mat.Scalar(10)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScalar(t, out[0], 11)
+	if len(e.Repo().Entries("f")) == 0 {
+		t.Fatal("no compiled entry after first call")
+	}
+
+	// redefine: the compiled version for the old body must not survive
+	if err := e.Define("function y = f(x)\n  y = x * 100;\nend"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(e.Repo().Entries("f")); n != 0 {
+		t.Fatalf("%d stale entries survived redefinition", n)
+	}
+	out, err = e.Call("f", []*mat.Value{mat.Scalar(10)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScalar(t, out[0], 1000)
+}
+
+// TestSpeculativeEntriesRefreshAfterRedefinition mirrors the snooping
+// scenario in speculative mode.
+func TestSpeculativeEntriesRefreshAfterRedefinition(t *testing.T) {
+	e := New(Options{Tier: TierSpec, Seed: 2})
+	if err := e.Define("function y = g(n)\n  y = 0;\n  for i = 1:n\n    y = y + i;\n  end\nend"); err != nil {
+		t.Fatal(err)
+	}
+	e.Precompile()
+	out, err := e.Call("g", []*mat.Value{mat.Scalar(10)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScalar(t, out[0], 55)
+
+	if err := e.Define("function y = g(n)\n  y = 0;\n  for i = 1:n\n    y = y + i*i;\n  end\nend"); err != nil {
+		t.Fatal(err)
+	}
+	e.Precompile()
+	out, err = e.Call("g", []*mat.Value{mat.Scalar(10)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScalar(t, out[0], 385)
+}
+
+// TestInterpFallbackCached: an uncompilable function (here: it uses
+// nargin, which the disambiguator cannot classify) must fall back to
+// interpretation under every tier, and the fallback decision must be
+// cached as a repository entry rather than retried per call.
+func TestInterpFallbackCached(t *testing.T) {
+	src := `
+function y = h(a, b)
+  y = nargin * 10;
+end`
+	e := New(Options{Tier: TierJIT, Seed: 2})
+	if err := e.Define(src); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		out, err := e.Call("h", []*mat.Value{mat.Scalar(1), mat.Scalar(2)}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantScalar(t, out[0], 20)
+	}
+	entries := e.Repo().Entries("h")
+	if len(entries) != 1 {
+		t.Fatalf("fallback should cache one entry, have %d", len(entries))
+	}
+	if entries[0].Code != nil {
+		t.Error("fallback entry must not carry compiled code")
+	}
+	if entries[0].Hits < 2 {
+		t.Errorf("fallback entry not reused: hits=%d", entries[0].Hits)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/repo"
+)
+
+// TestHotRecompilation exercises the repository's upgrade path: after
+// RecompileThreshold calls, a JIT entry is replaced by an optimized
+// recompilation of the same signature.
+func TestHotRecompilation(t *testing.T) {
+	e := New(Options{Tier: TierJIT, RecompileThreshold: 5, Seed: 3})
+	err := e.Define(`
+function s = work(n)
+  s = 0;
+  for i = 1:n
+    s = s + i*i - i;
+  end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg := []*mat.Value{mat.Scalar(500)}
+	want := 0.0
+	for i := 1; i <= 500; i++ {
+		want += float64(i*i - i)
+	}
+	for call := 1; call <= 10; call++ {
+		outs, err := e.Call("work", arg, 1)
+		if err != nil {
+			t.Fatalf("call %d: %v", call, err)
+		}
+		if got := outs[0].MustScalar(); got != want {
+			t.Fatalf("call %d: %g, want %g", call, got, want)
+		}
+	}
+	entries := e.Repo().Entries("work")
+	if len(entries) == 0 {
+		t.Fatal("no entries")
+	}
+	upgraded := false
+	for _, en := range entries {
+		if en.Quality == repo.QualityOpt {
+			upgraded = true
+		}
+	}
+	if !upgraded {
+		t.Errorf("hot entry was never upgraded: %+v", entries)
+	}
+}
+
+// TestRecompileDisabledByDefault keeps the harness's JIT measurements
+// pure: without the option, entries stay at JIT quality forever.
+func TestRecompileDisabledByDefault(t *testing.T) {
+	e := New(Options{Tier: TierJIT, Seed: 3})
+	if err := e.Define("function y = f(x)\n  y = x + 1;\nend"); err != nil {
+		t.Fatal(err)
+	}
+	arg := []*mat.Value{mat.Scalar(1)}
+	for i := 0; i < 30; i++ {
+		if _, err := e.Call("f", arg, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, en := range e.Repo().Entries("f") {
+		if en.Quality != repo.QualityJIT {
+			t.Errorf("entry upgraded without opt-in: %v", en.Quality)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/codegen"
+	"repro/internal/mat"
+	"repro/internal/repo"
+	"repro/internal/types"
+	"repro/internal/vm"
+)
+
+// repoState adapts the code repository to the engine: it implements the
+// paper's invocation protocol — the front end passes (function name,
+// argument values) to the repository, the function locator retrieves
+// safe compiled code by type-signature matching, and a miss triggers
+// JIT compilation (or, in speculative mode, usually hits ahead-of-time
+// compiled code).
+type repoState struct {
+	e *Engine
+	r *repo.Repository
+	// callDepth tracks nesting so execution time is only accumulated at
+	// the outermost invocation (Figure 6 decomposition).
+	callDepth int
+}
+
+func newRepoState(e *Engine) *repoState {
+	return &repoState{e: e, r: repo.New()}
+}
+
+// Repo exposes the repository (stats for the harness and majicc).
+func (e *Engine) Repo() *repo.Repository { return e.repo.r }
+
+func (r *repoState) invalidate(name string) {
+	r.r.Invalidate(name)
+}
+
+// precompile performs the speculative ahead-of-time compilation the
+// repository does while "snooping the source code directories".
+func (r *repoState) precompile(fn *ast.Function) {
+	sig, err := r.e.speculate(fn)
+	if err != nil {
+		return
+	}
+	code, err := r.e.compile(fn, sig, pipelineOpts{optimize: true})
+	if err != nil {
+		return
+	}
+	r.r.Insert(fn.Name, &repo.Entry{Sig: sig, Code: code, Quality: repo.QualityOpt, Speculative: true})
+}
+
+func (r *repoState) invoke(fn *ast.Function, args []*mat.Value, nout int) ([]*mat.Value, error) {
+	e := r.e
+	sig := types.SignatureOf(args)
+	if entry := r.r.Lookup(fn.Name, sig); entry != nil {
+		r.maybeUpgrade(fn, entry)
+		return r.runEntry(entry, fn, args, nout)
+	}
+
+	// Miss → compile. The signature is widened when the repository has
+	// already compiled this function for the same intrinsic kinds:
+	// without widening, recursive calls such as fibonacci(n-1) would
+	// compile one version per distinct constant argument.
+	csig := sig
+	if r.r.SameKindsDifferentDetail(fn.Name, sig) {
+		csig = widen(sig)
+	}
+
+	var po pipelineOpts
+	switch e.opts.Tier {
+	case TierMCC:
+		// Generic batch compilation: every parameter typed ⊤.
+		csig = topSignature(len(sig))
+		po = pipelineOpts{generic: true}
+	case TierFalcon:
+		po = pipelineOpts{optimize: true}
+	default: // TierJIT, and TierSpec's runtime fallback
+		po = pipelineOpts{optimize: e.opts.JITBackendOpts}
+	}
+
+	code, err := e.compile(fn, csig, po)
+	if err != nil {
+		if _, unsupported := err.(*codegen.ErrUnsupported); unsupported {
+			// Defer to runtime, like MaJIC does for ambiguous symbols:
+			// record an interpret-only entry so the decision is cached.
+			entry := &repo.Entry{Sig: topSignature(len(sig)), Quality: repo.QualityInterp}
+			r.r.Insert(fn.Name, entry)
+			return r.runEntry(entry, fn, args, nout)
+		}
+		return nil, err
+	}
+	quality := repo.QualityJIT
+	if po.optimize {
+		quality = repo.QualityOpt
+	}
+	entry := &repo.Entry{Sig: csig, Code: code, Quality: quality}
+	r.r.Insert(fn.Name, entry)
+	return r.runEntry(entry, fn, args, nout)
+}
+
+func (r *repoState) runEntry(entry *repo.Entry, fn *ast.Function, args []*mat.Value, nout int) ([]*mat.Value, error) {
+	r.callDepth++
+	var t0 time.Time
+	if r.callDepth == 1 {
+		t0 = time.Now()
+	}
+	var outs []*mat.Value
+	var err error
+	if entry.Quality == repo.QualityInterp {
+		outs, err = r.e.in.CallFunction(fn, args, nout, r.e.globals)
+	} else {
+		outs, err = vm.Run(entry.Code, r.e, args)
+	}
+	if r.callDepth == 1 {
+		r.e.timing.Exec += time.Since(t0).Nanoseconds()
+	}
+	r.callDepth--
+	if err != nil {
+		return nil, err
+	}
+	if len(outs) > nout {
+		outs = outs[:nout]
+	}
+	return outs, nil
+}
+
+// maybeUpgrade recompiles a hot JIT entry with the optimizing backend,
+// replacing the code in place so every later lookup of this entry runs
+// the better version (paper §2: "The generated code can later be
+// recompiled (and replaced in the repository) using a better
+// compiler").
+func (r *repoState) maybeUpgrade(fn *ast.Function, entry *repo.Entry) {
+	threshold := r.e.opts.RecompileThreshold
+	if threshold <= 0 || entry.Quality != repo.QualityJIT || entry.Hits < threshold {
+		return
+	}
+	code, err := r.e.compile(fn, entry.Sig, pipelineOpts{optimize: true})
+	if err != nil {
+		// Upgrade failure is harmless; keep the JIT code and stop trying.
+		entry.Quality = repo.QualityOpt
+		return
+	}
+	entry.Code = code
+	entry.Quality = repo.QualityOpt
+}
+
+// widen relaxes ranges (and, where bounds differ across calls, shapes
+// would already differ in kind handling) so one compiled version covers
+// a family of invocations.
+func widen(sig types.Signature) types.Signature {
+	out := make(types.Signature, len(sig))
+	for i, t := range sig {
+		t.R = types.RangeTop
+		if !t.IsScalar() {
+			// Non-scalar parameters widen their shape bounds too: the
+			// same matrix-kind signature should serve all sizes.
+			t.MinShape = types.ShapeBot
+			t.MaxShape = types.ShapeTop
+		}
+		out[i] = t
+	}
+	return out
+}
+
+func topSignature(n int) types.Signature {
+	sig := make(types.Signature, n)
+	for i := range sig {
+		sig[i] = types.Top
+	}
+	return sig
+}

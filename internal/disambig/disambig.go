@@ -1,0 +1,280 @@
+// Package disambig implements MaJIC's first compiler pass (paper §2.1):
+// classifying each symbol occurrence as a variable, a builtin primitive,
+// a user function, or ambiguous, using a variation of reaching-definitions
+// analysis over the CFG — "a symbol that has a reaching definition as a
+// variable on all paths leading to it must be a variable".
+package disambig
+
+import (
+	"repro/internal/ast"
+	"repro/internal/builtins"
+	"repro/internal/cfg"
+)
+
+// Meaning classifies one symbol occurrence.
+type Meaning uint8
+
+const (
+	Variable Meaning = iota
+	Builtin
+	UserFunc
+	// Ambiguous marks occurrences that are a variable on some but not
+	// all paths (Figure 2 of the paper). MaJIC defers these to runtime;
+	// our pipeline refuses to compile functions containing them and the
+	// engine falls back to interpretation.
+	Ambiguous
+	// Undefined is a name that is neither assigned nor known as a
+	// builtin or user function.
+	Undefined
+)
+
+func (m Meaning) String() string {
+	return [...]string{"variable", "builtin", "user", "ambiguous", "undefined"}[m]
+}
+
+// Table is the static symbol table the pass produces.
+type Table struct {
+	// Uses classifies each Ident and Call node (by pointer).
+	Uses map[ast.Node]Meaning
+	// Vars is the set of names that are variables anywhere in the
+	// function (parameters, outputs, assigned names, loop variables).
+	Vars map[string]bool
+	// HasAmbiguous reports whether any occurrence was ambiguous or
+	// undefined, which blocks compilation.
+	HasAmbiguous bool
+}
+
+// Resolver answers whether a name denotes a known user function.
+type Resolver interface {
+	IsUserFunction(name string) bool
+}
+
+// ResolverFunc adapts a function to Resolver.
+type ResolverFunc func(string) bool
+
+// IsUserFunction implements Resolver.
+func (f ResolverFunc) IsUserFunction(name string) bool { return f(name) }
+
+// state bits per name
+const (
+	bitMay  = 1 // assigned on some path
+	bitMust = 2 // assigned on all paths
+)
+
+type env map[string]uint8
+
+func (e env) clone() env {
+	out := make(env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// joinInto merges src into dst with join-of-all-paths semantics:
+// may = union, must = intersection (a name absent from either side
+// loses its must bit but keeps may if present on one side).
+func joinInto(dst, src env) {
+	for k, v := range src {
+		old, ok := dst[k]
+		if !ok {
+			dst[k] = v & bitMay
+			continue
+		}
+		dst[k] = ((old | v) & bitMay) | (old & v & bitMust)
+	}
+	for k, v := range dst {
+		if _, ok := src[k]; !ok {
+			dst[k] = v &^ bitMust
+		}
+	}
+}
+
+// Analyze runs the pass over a function. params and outs seed the
+// variable set (parameters are definitely assigned at entry).
+func Analyze(g *cfg.Graph, params []string, res Resolver) *Table {
+	t := &Table{Uses: make(map[ast.Node]Meaning), Vars: make(map[string]bool)}
+	for _, p := range params {
+		t.Vars[p] = true
+	}
+
+	// Fixpoint over block environments: IN is recomputed as the
+	// join-of-all-paths merge of the predecessors' OUTs.
+	entryEnv := env{}
+	for _, p := range params {
+		entryEnv[p] = bitMay | bitMust
+	}
+	out := make([]env, len(g.Blocks))
+	visited := make([]bool, len(g.Blocks))
+
+	computeIn := func(blk *cfg.Block) env {
+		var in env
+		if blk == g.Entry {
+			in = entryEnv.clone()
+		}
+		for _, p := range blk.Preds {
+			if out[p.ID] == nil {
+				continue
+			}
+			if in == nil {
+				in = out[p.ID].clone()
+			} else {
+				joinInto(in, out[p.ID])
+			}
+		}
+		if in == nil {
+			in = env{}
+		}
+		return in
+	}
+
+	work := []*cfg.Block{g.Entry}
+	inWork := map[int]bool{g.Entry.ID: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk.ID] = false
+		newOut := transfer(blk, computeIn(blk), t, false, res)
+		if visited[blk.ID] && envEqual(out[blk.ID], newOut) {
+			continue
+		}
+		visited[blk.ID] = true
+		out[blk.ID] = newOut
+		for _, s := range blk.Succs {
+			if !inWork[s.ID] {
+				work = append(work, s)
+				inWork[s.ID] = true
+			}
+		}
+	}
+
+	// Classification pass with the converged environments.
+	for _, blk := range g.Blocks {
+		transfer(blk, computeIn(blk), t, true, res)
+	}
+	return t
+}
+
+func envEqual(a, b env) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// transfer walks a block, updating e with definitions; when classify is
+// set it also records the meaning of every use.
+func transfer(blk *cfg.Block, e env, t *Table, classify bool, res Resolver) env {
+	if blk.ForHead != nil {
+		if classify {
+			classifyExpr(blk.ForHead.Iter, e, t, res)
+		}
+		define(e, blk.ForHead.Var, t)
+	}
+	for _, s := range blk.Stmts {
+		switch x := s.(type) {
+		case *ast.ExprStmt:
+			if classify {
+				classifyExpr(x.X, e, t, res)
+			}
+			define(e, "ans", t)
+		case *ast.Assign:
+			if classify {
+				classifyExpr(x.RHS, e, t, res)
+			}
+			for _, l := range x.LHS {
+				switch lhs := l.(type) {
+				case *ast.Ident:
+					define(e, lhs.Name, t)
+					if classify {
+						t.Uses[lhs] = Variable
+					}
+				case *ast.Call:
+					// Indexed assignment: subscripts are uses; the base
+					// becomes (or stays) a variable.
+					if classify {
+						for _, a := range lhs.Args {
+							classifyExpr(a, e, t, res)
+						}
+						t.Uses[lhs] = Variable
+						lhs.Kind = ast.CallIndex
+					}
+					define(e, lhs.Name, t)
+				}
+			}
+		case *ast.Global:
+			for _, n := range x.Names {
+				define(e, n, t)
+			}
+		case *ast.Clear:
+			if len(x.Names) == 0 {
+				for k := range e {
+					delete(e, k)
+				}
+			} else {
+				for _, n := range x.Names {
+					delete(e, n)
+				}
+			}
+		}
+	}
+	if blk.Cond != nil && classify {
+		classifyExpr(blk.Cond, e, t, res)
+	}
+	return e
+}
+
+func define(e env, name string, t *Table) {
+	e[name] = bitMay | bitMust
+	t.Vars[name] = true
+}
+
+func classifyExpr(expr ast.Expr, e env, t *Table, res Resolver) {
+	ast.Walk(expr, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			t.Uses[x] = classifyName(x.Name, e, t, res)
+			if t.Uses[x] == Ambiguous || t.Uses[x] == Undefined {
+				t.HasAmbiguous = true
+			}
+		case *ast.Call:
+			m := classifyName(x.Name, e, t, res)
+			t.Uses[x] = m
+			switch m {
+			case Variable:
+				x.Kind = ast.CallIndex
+			case Builtin:
+				x.Kind = ast.CallBuiltin
+			case UserFunc:
+				x.Kind = ast.CallUser
+			default:
+				x.Kind = ast.CallAmbiguous
+				t.HasAmbiguous = true
+			}
+		}
+		return true
+	})
+}
+
+func classifyName(name string, e env, t *Table, res Resolver) Meaning {
+	bits := e[name]
+	switch {
+	case bits&bitMust != 0:
+		return Variable
+	case bits&bitMay != 0:
+		// Variable on some paths only: ambiguous (paper Figure 2).
+		return Ambiguous
+	}
+	if builtins.Lookup(name) != nil {
+		return Builtin
+	}
+	if res != nil && res.IsUserFunction(name) {
+		return UserFunc
+	}
+	return Undefined
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestSec5Rows(t *testing.T) {
+	cfg := Config{Size: bench.Small, Reps: 1, Benchmarks: []string{"finedif"}}
+	rows, err := cfg.Sec5Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Bench != "finedif" {
+		t.Fatalf("rows: %+v", rows)
+	}
+	r := rows[0]
+	if r.JIT <= 0 || r.JITOpt <= 0 || r.BatchLimit <= 0 {
+		t.Fatalf("non-positive timings: %+v", r)
+	}
+}
+
+func TestSec5Print(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Size: bench.Small, Reps: 1, Out: &buf, Benchmarks: []string{"dirich"}}
+	if err := cfg.Sec5(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Section 5", "jit+opts", "dirich", "vs batch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResponsivenessPrint(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{Size: bench.Small, Reps: 1, Out: &buf, Benchmarks: []string{"fibonacci"}}
+	if err := cfg.Responsiveness(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Responsiveness", "fibonacci", "spec", "batch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.reps() != 3 {
+		t.Error("default reps")
+	}
+	if c.out() == nil {
+		t.Error("default out must be non-nil")
+	}
+	if c.seed() == 0 {
+		t.Error("default seed must be nonzero")
+	}
+	if got := len(c.list()); got != 16 {
+		t.Errorf("default list has %d benchmarks", got)
+	}
+	c.Benchmarks = []string{"dirich", "not_a_benchmark"}
+	if got := len(c.list()); got != 1 {
+		t.Errorf("filtered list has %d", got)
+	}
+}

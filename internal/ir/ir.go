@@ -1,0 +1,297 @@
+// Package ir defines MaJIC's typed linear intermediate representation —
+// the analog of the ICODE register language the original system adopted
+// from tcc (paper §4). Instructions operate on four virtual register
+// banks: F (float64 scalars, also 0/1 logicals), I (int64 scalars: loop
+// counters and subscripts), C (complex128 scalars) and V (boxed
+// *mat.Value arrays). Typed instructions are the fast path the JIT's
+// code selection emits for inferred types; the G* ("generic") opcodes
+// are the boxed fallback path used when inference yields ⊤ — the same
+// split as the paper's inlined scalar operations versus MATLAB C
+// library calls.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bank identifies a register bank.
+type Bank uint8
+
+const (
+	BankF Bank = iota
+	BankI
+	BankC
+	BankV
+	BankNone
+)
+
+func (b Bank) String() string {
+	return [...]string{"f", "i", "c", "v", "-"}[b]
+}
+
+// Op is an instruction opcode.
+type Op uint16
+
+// Instruction operand conventions: A is the destination (or first
+// operand for stores/branches), B and C are sources, D is the extra
+// operand 2-D array ops and a few others need. Imm carries float
+// immediates; branch targets live in C (or A for OpJmp).
+const (
+	OpNop Op = iota
+
+	// control flow
+	OpJmp      // pc = A
+	OpRet      // return
+	OpBrTrueF  // if F[A] != 0: pc = C
+	OpBrFalseF // if F[A] == 0: pc = C
+	OpBrFalseV // if !V[A].IsTrue(): pc = C
+	OpBrTrueV  // if V[A].IsTrue(): pc = C
+	OpBrFLt    // if F[A] <  F[B]: pc = C
+	OpBrFLe    // if F[A] <= F[B]: pc = C
+	OpBrFEq    // if F[A] == F[B]: pc = C
+	OpBrFNe    // if F[A] != F[B]: pc = C
+	OpBrFNLt   // if !(F[A] < F[B]): pc = C (NaN-correct negation)
+	OpBrFNLe   // if !(F[A] <= F[B]): pc = C
+	OpBrILt    // if I[A] <  I[B]: pc = C
+	OpBrILe    // if I[A] <= I[B]: pc = C
+	OpBrIEq    // if I[A] == I[B]: pc = C
+	OpBrINe    // if I[A] != I[B]: pc = C
+
+	// moves and constants
+	OpFMov     // F[A] = F[B]
+	OpIMov     // I[A] = I[B]
+	OpCMov     // C[A] = C[B]
+	OpVMov     // V[A] = V[B] (aliasing move)
+	OpVMovSwap // V[A], V[B] = V[B], V[A] (assignment of a fresh temp: the
+	// destination takes the value and the temp register inherits the old
+	// buffer, which OpVEnsure can then recycle — pre-allocated
+	// temporaries without an allocation per loop iteration)
+	OpVClone // V[A] = V[B].Clone() (value-semantics copy)
+	OpFConst // F[A] = Imm
+	OpIConst // I[A] = int64(Imm)
+	OpCConst // C[A] = cpool[B]
+
+	// conversions
+	OpItoF   // F[A] = float64(I[B])
+	OpFtoI   // I[A] = int64(F[B]) (value known integral)
+	OpFtoC   // C[A] = complex(F[B], 0)
+	OpItoC   // C[A] = complex(float64(I[B]), 0)
+	OpBoxF   // V[A] = scalar(F[B])
+	OpBoxI   // V[A] = int scalar(I[B])
+	OpBoxC   // V[A] = complex scalar(C[B])
+	OpUnboxF // F[A] = V[B] as real scalar (checked)
+	OpUnboxI // I[A] = V[B] as integer scalar (checked)
+	OpUnboxC // C[A] = V[B] as complex scalar (checked)
+
+	// F arithmetic (scalar doubles; also 0/1 logicals)
+	OpFAdd  // F[A] = F[B] + F[C]
+	OpFSub  // F[A] = F[B] - F[C]
+	OpFMul  // F[A] = F[B] * F[C]
+	OpFDiv  // F[A] = F[B] / F[C]
+	OpFNeg  // F[A] = -F[B]
+	OpFPow  // F[A] = pow(F[B], F[C])
+	OpFMod  // F[A] = matlab mod(F[B], F[C])
+	OpFRem  // F[A] = matlab rem(F[B], F[C])
+	OpFMath // F[A] = mathfn[C](F[B])
+	OpFAnd  // F[A] = F[B] != 0 && F[C] != 0
+	OpFOr   // F[A] = F[B] != 0 || F[C] != 0
+	OpFNot  // F[A] = F[B] == 0
+
+	// F comparisons producing 0/1
+	OpFCmpEq // F[A] = F[B] == F[C]
+	OpFCmpNe
+	OpFCmpLt
+	OpFCmpLe
+
+	// I arithmetic (int64 scalars)
+	OpIAdd
+	OpISub
+	OpIMul
+	OpINeg
+	OpIMod // matlab mod on integers
+	OpICmpEq
+	OpICmpNe // I comparisons produce F 0/1 for uniformity
+	OpICmpLt
+	OpICmpLe
+
+	// C arithmetic (complex128 scalars)
+	OpCAdd
+	OpCSub
+	OpCMul
+	OpCDiv
+	OpCNeg
+	OpCPow
+	OpCAbs  // F[A] = |C[B]|
+	OpCMath // C[A] = cmathfn[C](C[B])
+	OpCCmpEq
+	OpCCmpNe
+	OpCReal // F[A] = real(C[B])
+	OpCImag // F[A] = imag(C[B])
+	OpCConj // C[A] = conj(C[B])
+
+	// typed array access; subscripts are 1-based
+	// Checked forms take F subscripts and validate positive integers,
+	// bounds (loads) and growth (stores). Unchecked forms take I
+	// subscripts proven in-bounds by range ∧ shape analysis — the
+	// subscript-check removal of §2.4.
+	OpFLd1  // F[A] = V[B](F[C]) checked linear load
+	OpFLd1U // F[A] = V[B] at I[C] unchecked
+	OpFLd2  // F[A] = V[B](F[C], F[D]) checked
+	OpFLd2U // F[A] = V[B] at (I[C], I[D]) unchecked
+	OpFSt1  // V[A](F[B]) = F[C] checked store with growth
+	OpFSt1U // V[A] at I[B] = F[C] unchecked
+	OpFSt2  // V[A](F[B], F[C]) = F[D] checked
+	OpFSt2U // V[A] at (I[B], I[C]) = F[D] unchecked
+
+	// array management
+	OpVNewZeros   // V[A] = zeros(I[B], I[C]) fast typed allocation
+	OpVEnsure     // V[A]: reuse as zeros(I[B], I[C]) if owned & matching, else allocate (pre-allocated temporaries)
+	OpVEnsureOwn  // V[A] = V[A].Clone() if shared (call-by-value copy for written parameters)
+	OpVRows       // I[A] = V[B].Rows()
+	OpVCols       // I[A] = V[B].Cols()
+	OpVNumel      // I[A] = V[B].Numel()
+	OpVMarkShared // V[A].MarkShared() (aliasing assignment B = A)
+
+	// generic boxed operations (the MATLAB C library path)
+	OpGBin     // V[A] = binop[D](V[B], V[C])
+	OpGUn      // V[A] = unop[D](V[B])
+	OpGIndex   // V[A] = V[B](args); aux at C: [n, argreg...]
+	OpGAssign  // V[A](args) = V[D]; aux at C: [n, argreg...]; result back in V[A]
+	OpGColon   // V[A] = V[B]:V[C]:V[D]
+	OpGCat     // V[A] = [rows]; aux at B: [nrows, ncols1, regs..., ncols2, regs...]
+	OpGBuiltin // builtin call; aux at A: [builtinID, nout, dst..., nargs, arg...]
+	OpCallUser // user function call; aux at A: [fnID, nout, dst..., nargs, arg...]
+	OpGEMV     // V[A] = Imm*V[B]*V[C] + beta*V[D] (beta = 0 when D < 0, else ±1 encoded in aux via BetaNeg bit)
+	OpVConst   // V[A] = vpool[B] (boxed constant: string or colon marker)
+	OpVDisplay // display V[A] as name vpool[B] (echo of unsuppressed statements)
+
+	// spill support: the linear-scan allocator rewrites spilled virtual
+	// registers into slot loads/stores around each use (the Figure 7
+	// "no regalloc" ablation spills everything).
+	OpFLdSlot // F[A] = fslots[B]
+	OpFStSlot // fslots[A] = F[B]
+	OpILdSlot
+	OpIStSlot
+	OpCLdSlot
+	OpCStSlot
+	OpVLdSlot
+	OpVStSlot
+)
+
+var opNames = map[Op]string{
+	OpNop: "nop", OpJmp: "jmp", OpRet: "ret",
+	OpBrTrueF: "brtrue.f", OpBrFalseF: "brfalse.f", OpBrFalseV: "brfalse.v", OpBrTrueV: "brtrue.v",
+	OpBrFLt: "br.flt", OpBrFLe: "br.fle", OpBrFEq: "br.feq", OpBrFNe: "br.fne",
+	OpBrFNLt: "br.fnlt", OpBrFNLe: "br.fnle",
+	OpBrILt: "br.ilt", OpBrILe: "br.ile", OpBrIEq: "br.ieq", OpBrINe: "br.ine",
+	OpFMov: "fmov", OpIMov: "imov", OpCMov: "cmov", OpVMov: "vmov",
+	OpVMovSwap: "vmovswap", OpVClone: "vclone",
+	OpFConst: "fconst", OpIConst: "iconst", OpCConst: "cconst",
+	OpItoF: "itof", OpFtoI: "ftoi", OpFtoC: "ftoc", OpItoC: "itoc",
+	OpBoxF: "box.f", OpBoxI: "box.i", OpBoxC: "box.c",
+	OpUnboxF: "unbox.f", OpUnboxI: "unbox.i", OpUnboxC: "unbox.c",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv", OpFNeg: "fneg",
+	OpFPow: "fpow", OpFMod: "fmod", OpFRem: "frem", OpFMath: "fmath",
+	OpFAnd: "fand", OpFOr: "for", OpFNot: "fnot",
+	OpFCmpEq: "fcmp.eq", OpFCmpNe: "fcmp.ne", OpFCmpLt: "fcmp.lt", OpFCmpLe: "fcmp.le",
+	OpIAdd: "iadd", OpISub: "isub", OpIMul: "imul", OpINeg: "ineg", OpIMod: "imod",
+	OpICmpEq: "icmp.eq", OpICmpNe: "icmp.ne", OpICmpLt: "icmp.lt", OpICmpLe: "icmp.le",
+	OpCAdd: "cadd", OpCSub: "csub", OpCMul: "cmul", OpCDiv: "cdiv", OpCNeg: "cneg",
+	OpCPow: "cpow", OpCAbs: "cabs", OpCMath: "cmath", OpCCmpEq: "ccmp.eq", OpCCmpNe: "ccmp.ne",
+	OpCReal: "creal", OpCImag: "cimag", OpCConj: "cconj",
+	OpFLd1: "fld1", OpFLd1U: "fld1u", OpFLd2: "fld2", OpFLd2U: "fld2u",
+	OpFSt1: "fst1", OpFSt1U: "fst1u", OpFSt2: "fst2", OpFSt2U: "fst2u",
+	OpVNewZeros: "vnew", OpVEnsure: "vensure", OpVEnsureOwn: "vown",
+	OpVRows: "vrows", OpVCols: "vcols", OpVNumel: "vnumel", OpVMarkShared: "vshare",
+	OpGBin: "gbin", OpGUn: "gun", OpGIndex: "gindex", OpGAssign: "gassign",
+	OpVConst: "vconst", OpVDisplay: "vdisplay",
+	OpGColon: "gcolon", OpGCat: "gcat", OpGBuiltin: "gbuiltin", OpCallUser: "call",
+	OpGEMV:    "gemv",
+	OpFLdSlot: "fldslot", OpFStSlot: "fstslot", OpILdSlot: "ildslot", OpIStSlot: "istslot",
+	OpCLdSlot: "cldslot", OpCStSlot: "cstslot", OpVLdSlot: "vldslot", OpVStSlot: "vstslot",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op%d", uint16(o))
+}
+
+// Instr is one IR instruction.
+type Instr struct {
+	Op         Op
+	A, B, C, D int32
+	Imm        float64
+}
+
+func (in Instr) String() string {
+	return fmt.Sprintf("%-9s a=%d b=%d c=%d d=%d imm=%g", in.Op, in.A, in.B, in.C, in.D, in.Imm)
+}
+
+// ParamBinding says where a function argument lands on entry: the bank
+// and register, so the VM unboxes typed scalar parameters once. Slot
+// marks a spilled parameter whose Reg indexes the bank's spill slots.
+type ParamBinding struct {
+	Bank Bank
+	Reg  int32
+	Slot bool
+}
+
+// MathFn identifies scalar math functions for OpFMath/OpCMath.
+type MathFn int32
+
+// VConstDesc describes one boxed constant.
+type VConstDesc struct {
+	Str     string
+	IsColon bool
+}
+
+// Prog is a compiled function body.
+type Prog struct {
+	Name string
+	Ins  []Instr
+
+	// Register file sizes per bank (physical registers after
+	// allocation; virtual count before).
+	NumF, NumI, NumC, NumV int32
+	// Spill slot counts per bank.
+	SlotsF, SlotsI, SlotsC, SlotsV int32
+
+	CPool    []complex128
+	Aux      []int32
+	MathFns  []string // names for OpFMath/OpCMath C-index
+	Builtins []string // names for OpGBuiltin
+	Calls    []string // user function names for OpCallUser
+
+	// VPoolStrs describes boxed constants for OpVConst: string literals
+	// and the ':' subscript marker.
+	VPoolStrs []VConstDesc
+
+	Params  []ParamBinding
+	OutRegs []int32 // V registers holding outputs at OpRet
+	// OutBanks/OutSrc: outputs may live in scalar banks; the epilogue
+	// boxes them. OutRegs refer post-boxing V registers.
+
+	// Stats for the harness.
+	Allocated bool // register allocation done
+}
+
+// AddAux appends words to the aux pool, returning the starting index.
+func (p *Prog) AddAux(words ...int32) int32 {
+	at := int32(len(p.Aux))
+	p.Aux = append(p.Aux, words...)
+	return at
+}
+
+// Disasm renders the program for debugging and golden tests.
+func (p *Prog) Disasm() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s: f=%d i=%d c=%d v=%d (slots %d/%d/%d/%d)\n",
+		p.Name, p.NumF, p.NumI, p.NumC, p.NumV, p.SlotsF, p.SlotsI, p.SlotsC, p.SlotsV)
+	for i, in := range p.Ins {
+		fmt.Fprintf(&b, "%4d  %s\n", i, in.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAux(t *testing.T) {
+	p := &Prog{}
+	at1 := p.AddAux(1, 2, 3)
+	at2 := p.AddAux(4, 5)
+	if at1 != 0 || at2 != 3 {
+		t.Fatalf("aux offsets %d %d", at1, at2)
+	}
+	if len(p.Aux) != 5 || p.Aux[3] != 4 {
+		t.Fatalf("aux pool %v", p.Aux)
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	// every opcode in the instruction set must have a display name
+	for op := OpNop; op <= OpVStSlot; op++ {
+		s := op.String()
+		if strings.HasPrefix(s, "op") && s != "op" {
+			// fallback formatting means a missing entry
+			if _, ok := opNames[op]; !ok {
+				t.Errorf("opcode %d has no name", op)
+			}
+		}
+	}
+	if OpFAdd.String() != "fadd" || OpGEMV.String() != "gemv" {
+		t.Error("spot-check names")
+	}
+}
+
+func TestBankString(t *testing.T) {
+	for b, want := range map[Bank]string{BankF: "f", BankI: "i", BankC: "c", BankV: "v", BankNone: "-"} {
+		if b.String() != want {
+			t.Errorf("%d prints %q", b, b.String())
+		}
+	}
+}
+
+func TestDisasm(t *testing.T) {
+	p := &Prog{
+		Name: "demo",
+		NumF: 2,
+		Ins: []Instr{
+			{Op: OpFConst, A: 0, Imm: 3.5},
+			{Op: OpFAdd, A: 1, B: 0, C: 0},
+			{Op: OpRet},
+		},
+	}
+	d := p.Disasm()
+	for _, want := range []string{"func demo:", "fconst", "fadd", "ret", "imm=3.5"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disasm lacks %q:\n%s", want, d)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package linalg
+
+import "math"
+
+// Eig returns the eigenvalues of the n x n column-major matrix a as
+// (real, imag) slices. Symmetric matrices take a Jacobi sweep path that
+// returns exactly real eigenvalues; general matrices go through
+// Hessenberg reduction followed by the Francis double-shift QR iteration,
+// which can produce complex conjugate pairs.
+func Eig(a []float64, n int) (re, im []float64) {
+	if n == 0 {
+		return nil, nil
+	}
+	if isSymmetric(a, n) {
+		return jacobiEig(a, n), make([]float64, n)
+	}
+	h := make([]float64, n*n)
+	copy(h, a[:n*n])
+	hessenberg(h, n)
+	return francisQR(h, n)
+}
+
+func isSymmetric(a []float64, n int) bool {
+	for j := 0; j < n; j++ {
+		for i := j + 1; i < n; i++ {
+			if a[j*n+i] != a[i*n+j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// jacobiEig runs cyclic Jacobi rotations on a symmetric matrix and
+// returns the (ascending) eigenvalues.
+func jacobiEig(a []float64, n int) []float64 {
+	m := make([]float64, n*n)
+	copy(m, a[:n*n])
+	at := func(i, j int) float64 { return m[j*n+i] }
+	set := func(i, j int, v float64) { m[j*n+i] = v }
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for j := 0; j < n; j++ {
+			for i := 0; i < j; i++ {
+				off += at(i, j) * at(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := at(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				theta := (at(q, q) - at(p, p)) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					akp, akq := at(k, p), at(k, q)
+					set(k, p, c*akp-s*akq)
+					set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := at(p, k), at(q, k)
+					set(p, k, c*apk-s*aqk)
+					set(q, k, s*apk+c*aqk)
+				}
+			}
+		}
+	}
+	ev := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ev[i] = at(i, i)
+	}
+	// insertion sort ascending, as MATLAB's symmetric eig returns
+	for i := 1; i < n; i++ {
+		v := ev[i]
+		j := i - 1
+		for j >= 0 && ev[j] > v {
+			ev[j+1] = ev[j]
+			j--
+		}
+		ev[j+1] = v
+	}
+	return ev
+}
+
+// hessenberg reduces a (column-major, n x n) to upper Hessenberg form in
+// place using Householder reflectors.
+func hessenberg(a []float64, n int) {
+	at := func(i, j int) float64 { return a[j*n+i] }
+	set := func(i, j int, v float64) { a[j*n+i] = v }
+	v := make([]float64, n)
+	for k := 0; k < n-2; k++ {
+		var norm float64
+		for i := k + 1; i < n; i++ {
+			norm += at(i, k) * at(i, k)
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if at(k+1, k) < 0 {
+			alpha = norm
+		}
+		vnorm2 := 0.0
+		for i := k + 1; i < n; i++ {
+			v[i] = at(i, k)
+			if i == k+1 {
+				v[i] -= alpha
+			}
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		// A ← H A
+		for j := 0; j < n; j++ {
+			var dot float64
+			for i := k + 1; i < n; i++ {
+				dot += v[i] * at(i, j)
+			}
+			f := 2 * dot / vnorm2
+			for i := k + 1; i < n; i++ {
+				set(i, j, at(i, j)-f*v[i])
+			}
+		}
+		// A ← A H
+		for i := 0; i < n; i++ {
+			var dot float64
+			for j := k + 1; j < n; j++ {
+				dot += v[j] * at(i, j)
+			}
+			f := 2 * dot / vnorm2
+			for j := k + 1; j < n; j++ {
+				set(i, j, at(i, j)-f*v[j])
+			}
+		}
+	}
+}
+
+// francisQR runs the shifted QR iteration on an upper Hessenberg matrix
+// and returns its eigenvalues. This is the classic deflation-based
+// implementation (cf. Golub & Van Loan); 2x2 trailing blocks resolve to
+// real pairs or complex conjugates directly.
+func francisQR(h []float64, n int) (re, im []float64) {
+	re = make([]float64, n)
+	im = make([]float64, n)
+	at := func(i, j int) float64 { return h[j*n+i] }
+	set := func(i, j int, v float64) { h[j*n+i] = v }
+
+	hi := n - 1
+	iter := 0
+	for hi >= 0 {
+		if hi == 0 {
+			re[0] = at(0, 0)
+			hi--
+			continue
+		}
+		// find the active block [lo..hi]
+		lo := hi
+		for lo > 0 {
+			sub := math.Abs(at(lo, lo-1))
+			if sub <= 1e-14*(math.Abs(at(lo-1, lo-1))+math.Abs(at(lo, lo))) {
+				set(lo, lo-1, 0)
+				break
+			}
+			lo--
+		}
+		if lo == hi {
+			re[hi] = at(hi, hi)
+			hi--
+			iter = 0
+			continue
+		}
+		if lo == hi-1 {
+			// 2x2 block: solve the quadratic directly.
+			a11, a12 := at(hi-1, hi-1), at(hi-1, hi)
+			a21, a22 := at(hi, hi-1), at(hi, hi)
+			tr := a11 + a22
+			det := a11*a22 - a12*a21
+			disc := tr*tr/4 - det
+			if disc >= 0 {
+				s := math.Sqrt(disc)
+				re[hi-1], re[hi] = tr/2+s, tr/2-s
+			} else {
+				s := math.Sqrt(-disc)
+				re[hi-1], re[hi] = tr/2, tr/2
+				im[hi-1], im[hi] = s, -s
+			}
+			hi -= 2
+			iter = 0
+			continue
+		}
+		iter++
+		if iter > 40*n {
+			// Convergence failure: report the remaining diagonal as-is
+			// rather than looping forever (mirrors LAPACK's max-iteration
+			// bail-out).
+			for i := lo; i <= hi; i++ {
+				re[i] = at(i, i)
+			}
+			hi = lo - 1
+			continue
+		}
+		// Wilkinson shift from the trailing 2x2.
+		a11, a12 := at(hi-1, hi-1), at(hi-1, hi)
+		a21, a22 := at(hi, hi-1), at(hi, hi)
+		tr := a11 + a22
+		det := a11*a22 - a12*a21
+		disc := tr*tr/4 - det
+		var mu float64
+		if disc >= 0 {
+			s := math.Sqrt(disc)
+			l1, l2 := tr/2+s, tr/2-s
+			if math.Abs(l1-a22) < math.Abs(l2-a22) {
+				mu = l1
+			} else {
+				mu = l2
+			}
+		} else {
+			mu = tr / 2
+		}
+		if iter%13 == 0 {
+			// Exceptional shift to break symmetric stagnation.
+			mu = math.Abs(at(hi, hi-1)) + math.Abs(at(hi-1, hi-2))
+		}
+		// Shifted QR step on the active block via Givens rotations.
+		qrStepGivens(h, n, lo, hi, mu, at, set)
+	}
+	return re, im
+}
+
+func qrStepGivens(h []float64, n, lo, hi int, mu float64, at func(int, int) float64, set func(int, int, float64)) {
+	type rot struct{ c, s float64 }
+	rots := make([]rot, 0, hi-lo)
+	// H - mu I = Q R as a sequence of Givens rotations on the subdiagonal.
+	for i := lo; i <= hi; i++ {
+		set(i, i, at(i, i)-mu)
+	}
+	for k := lo; k < hi; k++ {
+		a, b := at(k, k), at(k+1, k)
+		r := math.Hypot(a, b)
+		if r == 0 {
+			rots = append(rots, rot{1, 0})
+			continue
+		}
+		c, s := a/r, b/r
+		rots = append(rots, rot{c, s})
+		for j := k; j <= hi && j < n; j++ {
+			x, y := at(k, j), at(k+1, j)
+			set(k, j, c*x+s*y)
+			set(k+1, j, -s*x+c*y)
+		}
+	}
+	// RQ: apply the transposed rotations on the right.
+	for k := lo; k < hi; k++ {
+		rt := rots[k-lo]
+		for i := lo; i <= k+1; i++ {
+			x, y := at(i, k), at(i, k+1)
+			set(i, k, rt.c*x+rt.s*y)
+			set(i, k+1, -rt.s*x+rt.c*y)
+		}
+	}
+	for i := lo; i <= hi; i++ {
+		set(i, i, at(i, i)+mu)
+	}
+}

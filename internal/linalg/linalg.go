@@ -1,0 +1,221 @@
+// Package linalg implements the dense linear-algebra substrate MaJIC's
+// built-in functions stand on: LU factorization with partial pivoting
+// (mldivide), Cholesky factorization, QR decomposition, determinant,
+// inverse, and eigenvalues via Hessenberg reduction plus the shifted QR
+// iteration. It plays the LAPACK role of the original system: built-in
+// library code whose speed is unaffected by compiling its callers.
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular reports an exactly singular system.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// ErrNotPosDef reports a Cholesky failure.
+var ErrNotPosDef = errors.New("linalg: matrix is not positive definite")
+
+// ErrShape reports incompatible dimensions.
+var ErrShape = errors.New("linalg: dimension mismatch")
+
+// LU computes an in-place LU factorization with partial pivoting of the
+// n x n column-major matrix a (lda = n). It returns the pivot vector
+// (piv[k] is the row swapped with row k) and whether a zero pivot was hit.
+func LU(a []float64, n int) (piv []int, singular bool) {
+	piv = make([]int, n)
+	for k := 0; k < n; k++ {
+		// find pivot
+		p := k
+		maxv := math.Abs(a[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a[k*n+i]); v > maxv {
+				maxv, p = v, i
+			}
+		}
+		piv[k] = p
+		if maxv == 0 {
+			singular = true
+			continue
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				a[j*n+k], a[j*n+p] = a[j*n+p], a[j*n+k]
+			}
+		}
+		pivot := a[k*n+k]
+		for i := k + 1; i < n; i++ {
+			a[k*n+i] /= pivot
+		}
+		for j := k + 1; j < n; j++ {
+			f := a[j*n+k]
+			if f == 0 {
+				continue
+			}
+			col := a[j*n : j*n+n]
+			lcol := a[k*n : k*n+n]
+			for i := k + 1; i < n; i++ {
+				col[i] -= lcol[i] * f
+			}
+		}
+	}
+	return piv, singular
+}
+
+// Solve solves A X = B for the n x n column-major A and n x m column-major
+// B, returning X (column-major). A and B are not modified.
+func Solve(a []float64, n int, b []float64, m int) ([]float64, error) {
+	lu := make([]float64, n*n)
+	copy(lu, a[:n*n])
+	piv, singular := LU(lu, n)
+	if singular {
+		return nil, ErrSingular
+	}
+	x := make([]float64, n*m)
+	copy(x, b[:n*m])
+	for j := 0; j < m; j++ {
+		col := x[j*n : (j+1)*n]
+		// apply pivots
+		for k := 0; k < n; k++ {
+			if piv[k] != k {
+				col[k], col[piv[k]] = col[piv[k]], col[k]
+			}
+		}
+		// forward substitution (unit lower)
+		for k := 0; k < n; k++ {
+			for i := k + 1; i < n; i++ {
+				col[i] -= lu[k*n+i] * col[k]
+			}
+		}
+		// back substitution
+		for k := n - 1; k >= 0; k-- {
+			col[k] /= lu[k*n+k]
+			for i := 0; i < k; i++ {
+				col[i] -= lu[k*n+i] * col[k]
+			}
+		}
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the n x n column-major matrix a.
+func Det(a []float64, n int) float64 {
+	lu := make([]float64, n*n)
+	copy(lu, a[:n*n])
+	piv, singular := LU(lu, n)
+	if singular {
+		return 0
+	}
+	det := 1.0
+	for k := 0; k < n; k++ {
+		det *= lu[k*n+k]
+		if piv[k] != k {
+			det = -det
+		}
+	}
+	return det
+}
+
+// Inv returns the inverse of the n x n column-major matrix a.
+func Inv(a []float64, n int) ([]float64, error) {
+	eye := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		eye[i*n+i] = 1
+	}
+	return Solve(a, n, eye, n)
+}
+
+// Chol computes the upper-triangular Cholesky factor R (column-major)
+// with A = RᵀR for a symmetric positive definite A.
+func Chol(a []float64, n int) ([]float64, error) {
+	r := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i <= j; i++ {
+			s := a[j*n+i]
+			for k := 0; k < i; k++ {
+				s -= r[i*n+k] * r[j*n+k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrNotPosDef
+				}
+				r[j*n+j] = math.Sqrt(s)
+			} else {
+				r[j*n+i] = s / r[i*n+i]
+			}
+		}
+	}
+	return r, nil
+}
+
+// QR computes a Householder QR decomposition of the m x n column-major
+// matrix a, returning Q (m x m) and R (m x n).
+func QR(a []float64, m, n int) (q, r []float64) {
+	r = make([]float64, m*n)
+	copy(r, a[:m*n])
+	q = make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		q[i*m+i] = 1
+	}
+	steps := n
+	if m-1 < steps {
+		steps = m - 1
+	}
+	v := make([]float64, m)
+	for k := 0; k < steps; k++ {
+		// Householder vector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm += r[k*m+i] * r[k*m+i]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if r[k*m+k] < 0 {
+			alpha = norm
+		}
+		vnorm2 := 0.0
+		for i := k; i < m; i++ {
+			v[i] = r[k*m+i]
+			if i == k {
+				v[i] -= alpha
+			}
+			vnorm2 += v[i] * v[i]
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		// Apply H = I - 2vvᵀ/vᵀv to R (columns k..n-1) and Q.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i] * r[j*m+i]
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				r[j*m+i] -= f * v[i]
+			}
+		}
+		for j := 0; j < m; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i] * q[j*m+i]
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				q[j*m+i] -= f * v[i]
+			}
+		}
+	}
+	// Q accumulated as the product of reflectors applied to I gives Qᵀ in
+	// the columns; transpose in place to return Q with A = Q R.
+	for j := 0; j < m; j++ {
+		for i := 0; i < j; i++ {
+			q[j*m+i], q[i*m+j] = q[i*m+j], q[j*m+i]
+		}
+	}
+	return q, r
+}

@@ -1,0 +1,556 @@
+package mat
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// This file implements the polymorphic generic operators — the analog of
+// the mlfPlus/mlfTimes/... functions of the MATLAB C library that the
+// paper's unoptimized code falls back to. Every operator dispatches on
+// kinds and shapes at runtime and allocates a boxed result.
+
+// BinKind classifies the scalar/matrix combination of a binary op.
+func binShape(a, b *Value) (rows, cols int, err error) {
+	switch {
+	case a.IsScalar():
+		return b.rows, b.cols, nil
+	case b.IsScalar():
+		return a.rows, a.cols, nil
+	case SameShape(a, b):
+		return a.rows, a.cols, nil
+	default:
+		return 0, 0, Errorf("matrix dimensions must agree: %dx%d vs %dx%d", a.rows, a.cols, b.rows, b.cols)
+	}
+}
+
+// elementwise applies fr (real) or fc (complex) pointwise with scalar
+// broadcasting. resKind overrides the promoted kind when non-zero kindSet.
+func elementwise(a, b *Value, fr func(x, y float64) float64, fc func(x, y complex128) complex128) (*Value, error) {
+	rows, cols, err := binShape(a, b)
+	if err != nil {
+		return nil, err
+	}
+	k := PromoteKind(a.kind, b.kind)
+	n := rows * cols
+	if k == Complex {
+		out := NewKind(Complex, rows, cols)
+		for i := 0; i < n; i++ {
+			z := fc(bcastC(a, i), bcastC(b, i))
+			out.re[i] = real(z)
+			out.im[i] = imag(z)
+		}
+		return out.Demote(), nil
+	}
+	out := NewKind(Real, rows, cols)
+	for i := 0; i < n; i++ {
+		out.re[i] = fr(bcastR(a, i), bcastR(b, i))
+	}
+	if k == Int || k == Bool {
+		// int-preserving ops stay integral when inputs are; callers that
+		// need exactness (e.g. plus on ints) keep Int kind.
+		if out.AllIntegral() {
+			out.kind = Int
+		}
+	}
+	return out, nil
+}
+
+func bcastR(v *Value, i int) float64 {
+	if v.rows*v.cols == 1 {
+		return v.re[0]
+	}
+	return v.re[i]
+}
+
+func bcastC(v *Value, i int) complex128 {
+	if v.rows*v.cols == 1 {
+		return v.ComplexAt(0)
+	}
+	return v.ComplexAt(i)
+}
+
+// Add implements a+b.
+func Add(a, b *Value) (*Value, error) {
+	return elementwise(a, b,
+		func(x, y float64) float64 { return x + y },
+		func(x, y complex128) complex128 { return x + y })
+}
+
+// Sub implements a-b.
+func Sub(a, b *Value) (*Value, error) {
+	return elementwise(a, b,
+		func(x, y float64) float64 { return x - y },
+		func(x, y complex128) complex128 { return x - y })
+}
+
+// ElemMul implements a.*b.
+func ElemMul(a, b *Value) (*Value, error) {
+	return elementwise(a, b,
+		func(x, y float64) float64 { return x * y },
+		func(x, y complex128) complex128 { return x * y })
+}
+
+// ElemDiv implements a./b.
+func ElemDiv(a, b *Value) (*Value, error) {
+	return elementwise(a, b,
+		func(x, y float64) float64 { return x / y },
+		func(x, y complex128) complex128 { return x / y })
+}
+
+// ElemLDiv implements a.\b.
+func ElemLDiv(a, b *Value) (*Value, error) { return ElemDiv(b, a) }
+
+// Neg implements -a.
+func Neg(a *Value) (*Value, error) {
+	n := a.rows * a.cols
+	if a.kind == Complex {
+		out := NewKind(Complex, a.rows, a.cols)
+		for i := 0; i < n; i++ {
+			out.re[i] = -a.re[i]
+			out.im[i] = -a.im[i]
+		}
+		return out, nil
+	}
+	out := NewKind(a.numKind(), a.rows, a.cols)
+	for i := 0; i < n; i++ {
+		out.re[i] = -a.re[i]
+	}
+	return out, nil
+}
+
+func (v *Value) numKind() Kind {
+	if v.kind == Char || v.kind == Bool {
+		return Real
+	}
+	return v.kind
+}
+
+// UPlus implements +a (numeric identity; converts char/bool to double).
+// The result is a fresh value so callers can mutate it freely.
+func UPlus(a *Value) (*Value, error) {
+	out := a.Clone()
+	if a.kind == Char || a.kind == Bool {
+		out.kind = Real
+	}
+	return out, nil
+}
+
+// Mul implements the matrix product a*b, with scalar broadcasting when
+// either operand is 1x1. Inner dimensions must agree otherwise.
+func Mul(a, b *Value) (*Value, error) {
+	if a.IsScalar() || b.IsScalar() {
+		return ElemMul(a, b)
+	}
+	if a.cols != b.rows {
+		return nil, Errorf("inner matrix dimensions must agree: %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols)
+	}
+	if a.kind == Complex || b.kind == Complex {
+		ac, bc := a.ToComplex(), b.ToComplex()
+		out := NewKind(Complex, a.rows, b.cols)
+		for j := 0; j < b.cols; j++ {
+			for k := 0; k < a.cols; k++ {
+				bkj := complex(bc.re[j*b.rows+k], bc.im[j*b.rows+k])
+				if bkj == 0 {
+					continue
+				}
+				for i := 0; i < a.rows; i++ {
+					z := complex(ac.re[k*a.rows+i], ac.im[k*a.rows+i]) * bkj
+					out.re[j*a.rows+i] += real(z)
+					out.im[j*a.rows+i] += imag(z)
+				}
+			}
+		}
+		return out.Demote(), nil
+	}
+	out := New(a.rows, b.cols)
+	// jki order over column-major data; the same kernel blas.Dgemm uses.
+	for j := 0; j < b.cols; j++ {
+		ocol := out.re[j*a.rows : (j+1)*a.rows]
+		for k := 0; k < a.cols; k++ {
+			bkj := b.re[j*b.rows+k]
+			if bkj == 0 {
+				continue
+			}
+			acol := a.re[k*a.rows : (k+1)*a.rows]
+			for i := range ocol {
+				ocol[i] += acol[i] * bkj
+			}
+		}
+	}
+	return out, nil
+}
+
+// Div implements a/b (mrdivide). Scalar b reduces to elementwise; the
+// general case solves x*b = a via transposition: a/b = (b' \ a')'.
+func Div(a, b *Value, solve func(A, B *Value) (*Value, error)) (*Value, error) {
+	if b.IsScalar() {
+		return ElemDiv(a, b)
+	}
+	bt, err := Transpose(b)
+	if err != nil {
+		return nil, err
+	}
+	at, err := Transpose(a)
+	if err != nil {
+		return nil, err
+	}
+	xt, err := solve(bt, at)
+	if err != nil {
+		return nil, err
+	}
+	return Transpose(xt)
+}
+
+// Pow implements a^b for the cases MaJIC handles: scalar^scalar (complex
+// result when needed), matrix^integer-scalar (repeated squaring), and
+// scalar^matrix is rejected.
+func Pow(a, b *Value) (*Value, error) {
+	if a.IsScalar() && b.IsScalar() {
+		return scalarPow(a, b)
+	}
+	if b.IsScalar() {
+		if a.rows != a.cols {
+			return nil, Errorf("matrix power requires a square matrix")
+		}
+		p := b.re[0]
+		if p != math.Trunc(p) || p < 0 {
+			return nil, Errorf("matrix power supports nonnegative integer exponents only")
+		}
+		result, err := Eye(a.rows)
+		if err != nil {
+			return nil, err
+		}
+		base := a
+		n := int(p)
+		for n > 0 {
+			if n&1 == 1 {
+				result, err = Mul(result, base)
+				if err != nil {
+					return nil, err
+				}
+			}
+			base, err = Mul(base, base)
+			if err != nil {
+				return nil, err
+			}
+			n >>= 1
+		}
+		return result, nil
+	}
+	return nil, Errorf("unsupported operands for ^")
+}
+
+func scalarPow(a, b *Value) (*Value, error) {
+	if a.kind == Complex || b.kind == Complex {
+		z := cmplx.Pow(a.ComplexAt(0), b.ComplexAt(0))
+		return ComplexScalar(z).Demote(), nil
+	}
+	x, y := a.re[0], b.re[0]
+	if x < 0 && y != math.Trunc(y) {
+		z := cmplx.Pow(complex(x, 0), complex(y, 0))
+		return ComplexScalar(z).Demote(), nil
+	}
+	return Scalar(math.Pow(x, y)), nil
+}
+
+// ElemPow implements a.^b.
+func ElemPow(a, b *Value) (*Value, error) {
+	rows, cols, err := binShape(a, b)
+	if err != nil {
+		return nil, err
+	}
+	// A negative base with a fractional exponent produces complex output.
+	needComplex := a.kind == Complex || b.kind == Complex
+	if !needComplex {
+		n := rows * cols
+		for i := 0; i < n && !needComplex; i++ {
+			x, y := bcastR(a, i), bcastR(b, i)
+			if x < 0 && y != math.Trunc(y) {
+				needComplex = true
+			}
+		}
+	}
+	if needComplex {
+		out := NewKind(Complex, rows, cols)
+		n := rows * cols
+		for i := 0; i < n; i++ {
+			z := cmplx.Pow(bcastC(a, i), bcastC(b, i))
+			out.re[i] = real(z)
+			out.im[i] = imag(z)
+		}
+		return out.Demote(), nil
+	}
+	return elementwise(a, b, math.Pow,
+		func(x, y complex128) complex128 { return cmplx.Pow(x, y) })
+}
+
+// Transpose implements a' for real values and the conjugate transpose for
+// complex values (MATLAB's ').
+func Transpose(a *Value) (*Value, error) {
+	out := NewKind(a.kind, a.cols, a.rows)
+	for c := 0; c < a.cols; c++ {
+		for r := 0; r < a.rows; r++ {
+			out.re[r*a.cols+c] = a.re[c*a.rows+r]
+		}
+	}
+	if a.im != nil {
+		for c := 0; c < a.cols; c++ {
+			for r := 0; r < a.rows; r++ {
+				out.im[r*a.cols+c] = -a.im[c*a.rows+r]
+			}
+		}
+	}
+	return out, nil
+}
+
+// DotTranspose implements a.' (no conjugation).
+func DotTranspose(a *Value) (*Value, error) {
+	out, err := Transpose(a)
+	if err != nil {
+		return nil, err
+	}
+	if out.im != nil {
+		for i := range out.im {
+			out.im[i] = -out.im[i]
+		}
+	}
+	return out, nil
+}
+
+// CmpOp enumerates relational operators.
+type CmpOp uint8
+
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+// Compare implements the relational operators, which per MATLAB (and the
+// paper's speculator hint) disregard imaginary parts for ordering but use
+// them for equality.
+func Compare(op CmpOp, a, b *Value) (*Value, error) {
+	rows, cols, err := binShape(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := NewKind(Bool, rows, cols)
+	n := rows * cols
+	for i := 0; i < n; i++ {
+		var t bool
+		switch op {
+		case CmpEq, CmpNe:
+			eq := bcastR(a, i) == bcastR(b, i) && imOrZero(a, i) == imOrZero(b, i)
+			t = eq == (op == CmpEq)
+		case CmpLt:
+			t = bcastR(a, i) < bcastR(b, i)
+		case CmpLe:
+			t = bcastR(a, i) <= bcastR(b, i)
+		case CmpGt:
+			t = bcastR(a, i) > bcastR(b, i)
+		case CmpGe:
+			t = bcastR(a, i) >= bcastR(b, i)
+		}
+		if t {
+			out.re[i] = 1
+		}
+	}
+	return out, nil
+}
+
+func imOrZero(v *Value, i int) float64 {
+	if v.im == nil {
+		return 0
+	}
+	if v.rows*v.cols == 1 {
+		return v.im[0]
+	}
+	return v.im[i]
+}
+
+// And implements a&b (elementwise logical and).
+func And(a, b *Value) (*Value, error) {
+	return logical(a, b, func(x, y bool) bool { return x && y })
+}
+
+// Or implements a|b.
+func Or(a, b *Value) (*Value, error) {
+	return logical(a, b, func(x, y bool) bool { return x || y })
+}
+
+func logical(a, b *Value, f func(x, y bool) bool) (*Value, error) {
+	rows, cols, err := binShape(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := NewKind(Bool, rows, cols)
+	n := rows * cols
+	for i := 0; i < n; i++ {
+		if f(truthy(a, i), truthy(b, i)) {
+			out.re[i] = 1
+		}
+	}
+	return out, nil
+}
+
+func truthy(v *Value, i int) bool {
+	return bcastR(v, i) != 0 || imOrZero(v, i) != 0
+}
+
+// Not implements ~a.
+func Not(a *Value) (*Value, error) {
+	out := NewKind(Bool, a.rows, a.cols)
+	n := a.rows * a.cols
+	for i := 0; i < n; i++ {
+		if !truthy(a, i) {
+			out.re[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// Colon implements lo:step:hi. Per the paper's speculator discussion,
+// MATLAB silently uses only the real part of the first element of each
+// operand. A zero step or an empty traversal yields a 1x0 empty row.
+func Colon(lo, step, hi *Value) (*Value, error) {
+	if lo.IsEmpty() || step.IsEmpty() || hi.IsEmpty() {
+		return &Value{kind: Real, rows: 1, cols: 0, re: nil}, nil
+	}
+	a, s, b := lo.re[0], step.re[0], hi.re[0]
+	if s == 0 || (s > 0 && a > b) || (s < 0 && a < b) {
+		return &Value{kind: Real, rows: 1, cols: 0, re: nil}, nil
+	}
+	n := int(math.Floor((b-a)/s + 1e-10)) // tolerate FP wobble at the endpoint
+	if n < 0 {
+		n = 0
+	}
+	out := New(1, n+1)
+	for i := 0; i <= n; i++ {
+		out.re[i] = a + float64(i)*s
+	}
+	if out.AllIntegral() {
+		out.kind = Int
+	}
+	return out, nil
+}
+
+// Eye returns the n x n identity.
+func Eye(n int) (*Value, error) {
+	if n < 0 {
+		return nil, Errorf("eye: negative dimension")
+	}
+	out := New(n, n)
+	for i := 0; i < n; i++ {
+		out.re[i*n+i] = 1
+	}
+	return out, nil
+}
+
+// Cat concatenates a bracket expression [rows of row-lists]. parts holds
+// one slice of values per literal row. Per MATLAB, elements of a literal
+// row must have equal row counts; rows must have equal total column
+// counts. Empty parts are dropped.
+func Cat(parts [][]*Value) (*Value, error) {
+	// Build each bracket row by horizontal concatenation, then stack.
+	var rows []*Value
+	for _, row := range parts {
+		h, err := HorzCat(row)
+		if err != nil {
+			return nil, err
+		}
+		if h.IsEmpty() && h.rows == 0 {
+			continue
+		}
+		rows = append(rows, h)
+	}
+	return VertCat(rows)
+}
+
+// HorzCat concatenates values left to right.
+func HorzCat(vs []*Value) (*Value, error) {
+	var nonEmpty []*Value
+	for _, v := range vs {
+		if !v.IsEmpty() {
+			nonEmpty = append(nonEmpty, v)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return Empty(), nil
+	}
+	rows := nonEmpty[0].rows
+	cols := 0
+	kind := nonEmpty[0].kind
+	for _, v := range nonEmpty {
+		if v.rows != rows {
+			return nil, Errorf("horizontal concatenation: row counts differ (%d vs %d)", rows, v.rows)
+		}
+		cols += v.cols
+		kind = catKind(kind, v.kind)
+	}
+	out := NewKind(kind, rows, cols)
+	at := 0
+	for _, v := range nonEmpty {
+		n := v.rows * v.cols
+		copy(out.re[at:at+n], v.re[:n])
+		if out.im != nil && v.im != nil {
+			copy(out.im[at:at+n], v.im[:n])
+		}
+		at += n
+	}
+	return out, nil
+}
+
+// VertCat concatenates values top to bottom.
+func VertCat(vs []*Value) (*Value, error) {
+	var nonEmpty []*Value
+	for _, v := range vs {
+		if !v.IsEmpty() {
+			nonEmpty = append(nonEmpty, v)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return Empty(), nil
+	}
+	if len(nonEmpty) == 1 {
+		// Copy so [x] never aliases x.
+		return nonEmpty[0].Clone(), nil
+	}
+	cols := nonEmpty[0].cols
+	rows := 0
+	kind := nonEmpty[0].kind
+	for _, v := range nonEmpty {
+		if v.cols != cols {
+			return nil, Errorf("vertical concatenation: column counts differ (%d vs %d)", cols, v.cols)
+		}
+		rows += v.rows
+		kind = catKind(kind, v.kind)
+	}
+	out := NewKind(kind, rows, cols)
+	rowAt := 0
+	for _, v := range nonEmpty {
+		for c := 0; c < cols; c++ {
+			copy(out.re[c*rows+rowAt:c*rows+rowAt+v.rows], v.re[c*v.rows:(c+1)*v.rows])
+			if out.im != nil && v.im != nil {
+				copy(out.im[c*rows+rowAt:c*rows+rowAt+v.rows], v.im[c*v.rows:(c+1)*v.rows])
+			}
+		}
+		rowAt += v.rows
+	}
+	return out, nil
+}
+
+// catKind gives concatenation's result kind: any complex → complex; char
+// with numeric → char (MATLAB concatenates into char); otherwise promote.
+func catKind(a, b Kind) Kind {
+	if a == Complex || b == Complex {
+		return Complex
+	}
+	if a == Char || b == Char {
+		return Char
+	}
+	return PromoteKind(a, b)
+}

@@ -1,0 +1,275 @@
+package opt
+
+import "repro/internal/ir"
+
+// hoistInvariants performs loop-invariant code motion: pure scalar
+// instructions inside a loop whose sources are never defined in the
+// loop, and whose destination is defined exactly once (at that
+// instruction) and never read earlier in the loop body, move to a
+// preheader in front of the loop. Pure scalar ops cannot fault, so
+// hoisting past a zero-trip loop is safe.
+func hoistInvariants(p *ir.Prog) {
+	// Find loops from backedges (jump to an earlier position).
+	type loop struct{ lo, hi int }
+	var loops []loop
+	for pos, in := range p.Ins {
+		var tgt int32 = -1
+		switch in.Op {
+		case ir.OpJmp:
+			tgt = in.A
+		case ir.OpBrTrueF, ir.OpBrFalseF, ir.OpBrFalseV, ir.OpBrTrueV,
+			ir.OpBrFLt, ir.OpBrFLe, ir.OpBrFEq, ir.OpBrFNe, ir.OpBrFNLt, ir.OpBrFNLe,
+			ir.OpBrILt, ir.OpBrILe, ir.OpBrIEq, ir.OpBrINe:
+			tgt = in.C
+		}
+		if tgt >= 0 && int(tgt) <= pos {
+			loops = append(loops, loop{lo: int(tgt), hi: pos})
+		}
+	}
+	if len(loops) == 0 {
+		return
+	}
+	// Process innermost-first (smallest span).
+	for iter := 0; iter < len(loops); iter++ {
+		best := -1
+		bestSpan := 1 << 30
+		for i, l := range loops {
+			if l.lo < 0 {
+				continue
+			}
+			if span := l.hi - l.lo; span < bestSpan {
+				best, bestSpan = i, span
+			}
+		}
+		if best < 0 {
+			break
+		}
+		l := loops[best]
+		loops[best].lo = -1 // mark done
+		// Hoisting moves instructions within [lo, hi]; the region size
+		// and all positions outside it are unchanged, and remaining
+		// (outer) loop records have endpoints outside the region.
+		hoistOne(p, l.lo, l.hi)
+	}
+}
+
+// hoistOne moves invariant instructions out of the region [lo, hi],
+// returning how many instructions were inserted before lo.
+func hoistOne(p *ir.Prog, lo, hi int) int {
+	// Count definitions of each scalar register inside the loop, and
+	// record whether any instruction jumps into the middle of the loop
+	// from outside (irreducible shape → give up).
+	defCount := map[regKey]int{}
+	for pos := lo; pos <= hi; pos++ {
+		for _, d := range defsOf(&p.Ins[pos]) {
+			defCount[d]++
+		}
+	}
+	for pos, in := range p.Ins {
+		if pos >= lo && pos <= hi {
+			continue
+		}
+		var tgt int32 = -1
+		switch in.Op {
+		case ir.OpJmp:
+			tgt = in.A
+		case ir.OpBrTrueF, ir.OpBrFalseF, ir.OpBrFalseV, ir.OpBrTrueV,
+			ir.OpBrFLt, ir.OpBrFLe, ir.OpBrFEq, ir.OpBrFNe, ir.OpBrFNLt, ir.OpBrFNLe,
+			ir.OpBrILt, ir.OpBrILe, ir.OpBrIEq, ir.OpBrINe:
+			tgt = in.C
+		}
+		if tgt > int32(lo) && tgt <= int32(hi) {
+			return 0 // entered mid-loop from outside; bail out
+		}
+	}
+
+	// Iteratively collect hoistable instructions (a hoisted def makes
+	// its consumers potentially invariant too).
+	hoistable := map[int]bool{}
+	firstTouch := map[regKey]int{} // first position a reg is read or written
+	for pos := lo; pos <= hi; pos++ {
+		in := &p.Ins[pos]
+		for _, u := range usesOf(in) {
+			if _, ok := firstTouch[u]; !ok {
+				firstTouch[u] = pos
+			}
+		}
+		for _, d := range defsOf(in) {
+			if _, ok := firstTouch[d]; !ok {
+				firstTouch[d] = pos
+			}
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for pos := lo; pos <= hi; pos++ {
+			if hoistable[pos] {
+				continue
+			}
+			in := &p.Ins[pos]
+			if _, _, pure := pureKey(in, func(regKey) int { return 0 }); !pure {
+				continue
+			}
+			defs := defsOf(in)
+			if len(defs) != 1 {
+				continue
+			}
+			d := defs[0]
+			if defCount[d] != 1 || firstTouch[d] != pos {
+				continue
+			}
+			ok := true
+			for _, u := range usesOf(in) {
+				if cnt := defCount[u]; cnt > 0 {
+					// Defined in the loop: only fine if that def is
+					// itself hoisted (single def, already marked).
+					defPos, single := singleDefPos(p, lo, hi, u)
+					if !single || !hoistable[defPos] {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			hoistable[pos] = true
+			changed = true
+		}
+	}
+	if len(hoistable) == 0 {
+		return 0
+	}
+
+	// Rebuild: hoisted instructions move (in order) to just before lo.
+	// srcOld tracks each new position's original position so branch
+	// fixing can distinguish in-loop branches from outside entries.
+	var out []ir.Instr
+	var srcOld []int
+	for pos := 0; pos < lo; pos++ {
+		out = append(out, p.Ins[pos])
+		srcOld = append(srcOld, pos)
+	}
+	for pos := lo; pos <= hi; pos++ {
+		if hoistable[pos] {
+			out = append(out, p.Ins[pos])
+			srcOld = append(srcOld, pos)
+		}
+	}
+	n := len(hoistable)
+	for pos := lo; pos <= hi; pos++ {
+		if !hoistable[pos] {
+			out = append(out, p.Ins[pos])
+			srcOld = append(srcOld, pos)
+		}
+	}
+	for pos := hi + 1; pos < len(p.Ins); pos++ {
+		out = append(out, p.Ins[pos])
+		srcOld = append(srcOld, pos)
+	}
+
+	// Remap branch targets: old position → new position.
+	remap := make([]int32, len(p.Ins)+1)
+	for old := 0; old < lo; old++ {
+		remap[old] = int32(old)
+	}
+	newPos := lo + n
+	hoistedSeen := 0
+	for old := lo; old <= hi; old++ {
+		if hoistable[old] {
+			remap[old] = int32(lo + hoistedSeen)
+			hoistedSeen++
+		} else {
+			remap[old] = int32(newPos)
+			newPos++
+		}
+	}
+	for old := hi + 1; old <= len(p.Ins); old++ {
+		remap[old] = int32(old)
+	}
+	// A branch to a hoisted instruction's old slot lands on the first
+	// non-hoisted instruction at or after it instead. (The backedge
+	// instruction at hi is a branch, hence never hoisted.)
+	for old := hi; old >= lo; old-- {
+		if hoistable[old] {
+			remap[old] = remap[old+1]
+		}
+	}
+	for i := range out {
+		in := &out[i]
+		insideLoop := srcOld[i] >= lo && srcOld[i] <= hi
+		fix := func(t int32) int32 {
+			if int(t) == lo && !insideLoop {
+				// A jump from outside landing on the loop head is a loop
+				// entry: it must execute the preheader first.
+				return int32(lo)
+			}
+			return remap[t]
+		}
+		switch in.Op {
+		case ir.OpJmp:
+			in.A = fix(in.A)
+		case ir.OpBrTrueF, ir.OpBrFalseF, ir.OpBrFalseV, ir.OpBrTrueV,
+			ir.OpBrFLt, ir.OpBrFLe, ir.OpBrFEq, ir.OpBrFNe, ir.OpBrFNLt, ir.OpBrFNLe,
+			ir.OpBrILt, ir.OpBrILe, ir.OpBrIEq, ir.OpBrINe:
+			in.C = fix(in.C)
+		}
+	}
+	p.Ins = out
+	return n
+}
+
+func singleDefPos(p *ir.Prog, lo, hi int, k regKey) (int, bool) {
+	found := -1
+	for pos := lo; pos <= hi; pos++ {
+		for _, d := range defsOf(&p.Ins[pos]) {
+			if d == k {
+				if found >= 0 {
+					return -1, false
+				}
+				found = pos
+			}
+		}
+	}
+	return found, found >= 0
+}
+
+// eliminateDeadCode removes pure instructions whose destinations are
+// never read (whole-program use counts; conservative for non-SSA code).
+func eliminateDeadCode(p *ir.Prog) {
+	for {
+		useCount := map[regKey]int{}
+		for pos := range p.Ins {
+			for _, u := range usesOf(&p.Ins[pos]) {
+				useCount[u]++
+			}
+		}
+		// Output and parameter registers are implicitly used/defined.
+		removed := false
+		for pos := range p.Ins {
+			in := &p.Ins[pos]
+			if in.Op == ir.OpNop || sideEffect(in) {
+				continue
+			}
+			defs := defsOf(in)
+			if len(defs) == 0 {
+				continue
+			}
+			dead := true
+			for _, d := range defs {
+				if useCount[d] > 0 {
+					dead = false
+					break
+				}
+			}
+			if dead {
+				*in = ir.Instr{Op: ir.OpNop}
+				removed = true
+			}
+		}
+		if !removed {
+			return
+		}
+	}
+}

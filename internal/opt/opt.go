@@ -1,0 +1,417 @@
+// Package opt implements the backend optimization passes that stand in
+// for the platform's native C/Fortran compiler behind MaJIC's source
+// code generator (paper §2.6): constant folding, local value numbering
+// (common subexpression elimination), loop-invariant code motion, and
+// dead code elimination over the scalar banks of the IR. The JIT code
+// generator deliberately skips all of this ("no loop optimizations or
+// instruction scheduling are performed"); the speculative and
+// FALCON-style tiers run it.
+package opt
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Config grades the simulated native backend.
+type Config struct {
+	// Passes toggles (all on by default).
+	Fold     bool
+	CSE      bool
+	CopyProp bool
+	LICM     bool
+	DCE      bool
+	// UnrollFactor is consumed by the code generator (loop unrolling
+	// happens during lowering); recorded here for reporting.
+	UnrollFactor int
+}
+
+// DefaultConfig enables every pass.
+func DefaultConfig() Config {
+	return Config{Fold: true, CSE: true, CopyProp: true, LICM: true, DCE: true, UnrollFactor: 2}
+}
+
+// Run optimizes p in place. It must run before register allocation.
+// Copy propagation turns the moves CSE leaves behind into dead code;
+// DCE nops them out; compaction deletes the nops (a VM dispatches nops
+// at full price, unlike hardware).
+func Run(p *ir.Prog, cfg Config) {
+	if p.Allocated {
+		panic("opt: program already register-allocated")
+	}
+	if cfg.Fold {
+		foldConstants(p)
+	}
+	if cfg.CSE {
+		localCSE(p)
+	}
+	if cfg.CopyProp {
+		propagateCopies(p)
+	}
+	if cfg.LICM {
+		hoistInvariants(p)
+	}
+	if cfg.DCE {
+		eliminateDeadCode(p)
+	}
+	compact(p)
+}
+
+// --- block structure ---------------------------------------------------------
+
+// leaders marks basic-block leader positions.
+func leaders(p *ir.Prog) []bool {
+	l := make([]bool, len(p.Ins)+1)
+	l[0] = true
+	for pos, in := range p.Ins {
+		switch in.Op {
+		case ir.OpJmp:
+			l[in.A] = true
+			if pos+1 < len(l) {
+				l[pos+1] = true
+			}
+		case ir.OpBrTrueF, ir.OpBrFalseF, ir.OpBrFalseV, ir.OpBrTrueV,
+			ir.OpBrFLt, ir.OpBrFLe, ir.OpBrFEq, ir.OpBrFNe, ir.OpBrFNLt, ir.OpBrFNLe,
+			ir.OpBrILt, ir.OpBrILe, ir.OpBrIEq, ir.OpBrINe:
+			l[in.C] = true
+			if pos+1 < len(l) {
+				l[pos+1] = true
+			}
+		case ir.OpRet:
+			if pos+1 < len(l) {
+				l[pos+1] = true
+			}
+		}
+	}
+	return l
+}
+
+// regKey identifies a register across banks.
+type regKey struct {
+	bank ir.Bank
+	reg  int32
+}
+
+// --- constant folding ---------------------------------------------------------
+
+// foldConstants propagates FConst/IConst values locally within blocks
+// and folds pure arithmetic whose operands are all constant.
+func foldConstants(p *ir.Prog) {
+	lead := leaders(p)
+	fconst := map[int32]float64{}
+	iconst := map[int32]int64{}
+	reset := func() {
+		clear(fconst)
+		clear(iconst)
+	}
+	for pos := range p.Ins {
+		if lead[pos] {
+			reset()
+		}
+		in := &p.Ins[pos]
+		switch in.Op {
+		case ir.OpFConst:
+			fconst[in.A] = in.Imm
+		case ir.OpIConst:
+			iconst[in.A] = int64(in.Imm)
+		case ir.OpFMov:
+			if v, ok := fconst[in.B]; ok {
+				*in = ir.Instr{Op: ir.OpFConst, A: in.A, Imm: v}
+				fconst[in.A] = v
+			} else {
+				delete(fconst, in.A)
+			}
+		case ir.OpIMov:
+			if v, ok := iconst[in.B]; ok {
+				*in = ir.Instr{Op: ir.OpIConst, A: in.A, Imm: float64(v)}
+				iconst[in.A] = v
+			} else {
+				delete(iconst, in.A)
+			}
+		case ir.OpItoF:
+			if v, ok := iconst[in.B]; ok {
+				*in = ir.Instr{Op: ir.OpFConst, A: in.A, Imm: float64(v)}
+				fconst[in.A] = float64(v)
+			} else {
+				delete(fconst, in.A)
+			}
+		case ir.OpFtoI:
+			if v, ok := fconst[in.B]; ok {
+				*in = ir.Instr{Op: ir.OpIConst, A: in.A, Imm: float64(int64(v))}
+				iconst[in.A] = int64(v)
+			} else {
+				delete(iconst, in.A)
+			}
+		case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFPow:
+			b, okB := fconst[in.B]
+			c, okC := fconst[in.C]
+			if okB && okC {
+				var v float64
+				switch in.Op {
+				case ir.OpFAdd:
+					v = b + c
+				case ir.OpFSub:
+					v = b - c
+				case ir.OpFMul:
+					v = b * c
+				case ir.OpFDiv:
+					v = b / c
+				case ir.OpFPow:
+					v = math.Pow(b, c)
+				}
+				*in = ir.Instr{Op: ir.OpFConst, A: in.A, Imm: v}
+				fconst[in.A] = v
+			} else {
+				delete(fconst, in.A)
+			}
+		case ir.OpFNeg:
+			if v, ok := fconst[in.B]; ok {
+				*in = ir.Instr{Op: ir.OpFConst, A: in.A, Imm: -v}
+				fconst[in.A] = -v
+			} else {
+				delete(fconst, in.A)
+			}
+		case ir.OpIAdd, ir.OpISub, ir.OpIMul:
+			b, okB := iconst[in.B]
+			c, okC := iconst[in.C]
+			if okB && okC {
+				var v int64
+				switch in.Op {
+				case ir.OpIAdd:
+					v = b + c
+				case ir.OpISub:
+					v = b - c
+				case ir.OpIMul:
+					v = b * c
+				}
+				*in = ir.Instr{Op: ir.OpIConst, A: in.A, Imm: float64(v)}
+				iconst[in.A] = v
+			} else {
+				delete(iconst, in.A)
+			}
+		case ir.OpINeg:
+			if v, ok := iconst[in.B]; ok {
+				*in = ir.Instr{Op: ir.OpIConst, A: in.A, Imm: float64(-v)}
+				iconst[in.A] = -v
+			} else {
+				delete(iconst, in.A)
+			}
+		default:
+			// Any other def invalidates its destination's constness.
+			for _, d := range defsOf(in) {
+				switch d.bank {
+				case ir.BankF:
+					delete(fconst, d.reg)
+				case ir.BankI:
+					delete(iconst, d.reg)
+				}
+			}
+		}
+	}
+}
+
+// --- local value numbering / CSE ------------------------------------------------
+
+type exprKey struct {
+	op     ir.Op
+	vnB    int
+	vnC    int
+	imm    float64
+	mathID int32
+}
+
+// localCSE performs value numbering within basic blocks over pure
+// scalar ops, replacing recomputations with moves.
+func localCSE(p *ir.Prog) {
+	lead := leaders(p)
+	vn := map[regKey]int{}
+	nextVN := 1
+	avail := map[exprKey]regKey{}
+	availVN := map[exprKey]int{}
+	reset := func() {
+		clear(vn)
+		clear(avail)
+		clear(availVN)
+	}
+	vnOf := func(k regKey) int {
+		if v, ok := vn[k]; ok {
+			return v
+		}
+		nextVN++
+		vn[k] = nextVN
+		return nextVN
+	}
+	newVN := func(k regKey) int {
+		nextVN++
+		vn[k] = nextVN
+		return nextVN
+	}
+	for pos := range p.Ins {
+		if lead[pos] {
+			reset()
+		}
+		in := &p.Ins[pos]
+		if key, dst, ok := pureKey(in, vnOf); ok {
+			if prev, found := avail[key]; found && vn[prev] == availVN[key] {
+				// Recomputation: replace with a move.
+				mov := ir.OpFMov
+				switch dst.bank {
+				case ir.BankI:
+					mov = ir.OpIMov
+				case ir.BankC:
+					mov = ir.OpCMov
+				}
+				*in = ir.Instr{Op: mov, A: dst.reg, B: prev.reg}
+				vn[dst] = availVN[key]
+				continue
+			}
+			v := newVN(dst)
+			avail[key] = dst
+			availVN[key] = v
+			continue
+		}
+		// Non-pure or unkeyed instruction: invalidate defined regs.
+		for _, d := range defsOf(in) {
+			newVN(d)
+		}
+	}
+}
+
+// pureKey builds a value-number key for pure scalar instructions.
+func pureKey(in *ir.Instr, vnOf func(regKey) int) (exprKey, regKey, bool) {
+	f := func(r int32) int { return vnOf(regKey{ir.BankF, r}) }
+	i := func(r int32) int { return vnOf(regKey{ir.BankI, r}) }
+	c := func(r int32) int { return vnOf(regKey{ir.BankC, r}) }
+	switch in.Op {
+	case ir.OpFConst:
+		return exprKey{op: in.Op, imm: in.Imm}, regKey{ir.BankF, in.A}, true
+	case ir.OpIConst:
+		return exprKey{op: in.Op, imm: in.Imm}, regKey{ir.BankI, in.A}, true
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFPow, ir.OpFMod, ir.OpFRem,
+		ir.OpFAnd, ir.OpFOr, ir.OpFCmpEq, ir.OpFCmpNe, ir.OpFCmpLt, ir.OpFCmpLe:
+		return exprKey{op: in.Op, vnB: f(in.B), vnC: f(in.C)}, regKey{ir.BankF, in.A}, true
+	case ir.OpFNeg, ir.OpFNot:
+		return exprKey{op: in.Op, vnB: f(in.B)}, regKey{ir.BankF, in.A}, true
+	case ir.OpFMath:
+		return exprKey{op: in.Op, vnB: f(in.B), mathID: in.C}, regKey{ir.BankF, in.A}, true
+	case ir.OpItoF:
+		return exprKey{op: in.Op, vnB: i(in.B)}, regKey{ir.BankF, in.A}, true
+	case ir.OpFtoI:
+		return exprKey{op: in.Op, vnB: f(in.B)}, regKey{ir.BankI, in.A}, true
+	case ir.OpIAdd, ir.OpISub, ir.OpIMul, ir.OpIMod:
+		return exprKey{op: in.Op, vnB: i(in.B), vnC: i(in.C)}, regKey{ir.BankI, in.A}, true
+	case ir.OpINeg:
+		return exprKey{op: in.Op, vnB: i(in.B)}, regKey{ir.BankI, in.A}, true
+	case ir.OpICmpEq, ir.OpICmpNe, ir.OpICmpLt, ir.OpICmpLe:
+		return exprKey{op: in.Op, vnB: i(in.B), vnC: i(in.C)}, regKey{ir.BankF, in.A}, true
+	case ir.OpCAdd, ir.OpCSub, ir.OpCMul, ir.OpCDiv, ir.OpCPow:
+		return exprKey{op: in.Op, vnB: c(in.B), vnC: c(in.C)}, regKey{ir.BankC, in.A}, true
+	case ir.OpCNeg, ir.OpCConj:
+		return exprKey{op: in.Op, vnB: c(in.B)}, regKey{ir.BankC, in.A}, true
+	}
+	return exprKey{}, regKey{}, false
+}
+
+// --- helpers shared with LICM/DCE ------------------------------------------------
+
+// defsOf lists the scalar registers an instruction defines.
+func defsOf(in *ir.Instr) []regKey {
+	switch in.Op {
+	case ir.OpFMov, ir.OpFConst, ir.OpItoF, ir.OpUnboxF,
+		ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFNeg, ir.OpFPow, ir.OpFMod, ir.OpFRem,
+		ir.OpFMath, ir.OpFAnd, ir.OpFOr, ir.OpFNot,
+		ir.OpFCmpEq, ir.OpFCmpNe, ir.OpFCmpLt, ir.OpFCmpLe,
+		ir.OpICmpEq, ir.OpICmpNe, ir.OpICmpLt, ir.OpICmpLe,
+		ir.OpCAbs, ir.OpCReal, ir.OpCImag, ir.OpCCmpEq, ir.OpCCmpNe,
+		ir.OpFLd1, ir.OpFLd1U, ir.OpFLd2, ir.OpFLd2U:
+		return []regKey{{ir.BankF, in.A}}
+	case ir.OpIMov, ir.OpIConst, ir.OpFtoI, ir.OpUnboxI,
+		ir.OpIAdd, ir.OpISub, ir.OpIMul, ir.OpINeg, ir.OpIMod,
+		ir.OpVRows, ir.OpVCols, ir.OpVNumel:
+		return []regKey{{ir.BankI, in.A}}
+	case ir.OpCMov, ir.OpCConst, ir.OpFtoC, ir.OpItoC, ir.OpUnboxC,
+		ir.OpCAdd, ir.OpCSub, ir.OpCMul, ir.OpCDiv, ir.OpCNeg, ir.OpCPow, ir.OpCMath, ir.OpCConj:
+		return []regKey{{ir.BankC, in.A}}
+	}
+	return nil
+}
+
+// usesOf lists the scalar registers an instruction reads.
+func usesOf(in *ir.Instr) []regKey {
+	switch in.Op {
+	case ir.OpBrTrueF, ir.OpBrFalseF:
+		return []regKey{{ir.BankF, in.A}}
+	case ir.OpBrFLt, ir.OpBrFLe, ir.OpBrFEq, ir.OpBrFNe, ir.OpBrFNLt, ir.OpBrFNLe:
+		return []regKey{{ir.BankF, in.A}, {ir.BankF, in.B}}
+	case ir.OpBrILt, ir.OpBrILe, ir.OpBrIEq, ir.OpBrINe:
+		return []regKey{{ir.BankI, in.A}, {ir.BankI, in.B}}
+	case ir.OpFMov:
+		return []regKey{{ir.BankF, in.B}}
+	case ir.OpIMov:
+		return []regKey{{ir.BankI, in.B}}
+	case ir.OpCMov:
+		return []regKey{{ir.BankC, in.B}}
+	case ir.OpItoF, ir.OpBoxI:
+		return []regKey{{ir.BankI, in.B}}
+	case ir.OpFtoI, ir.OpFtoC, ir.OpBoxF:
+		return []regKey{{ir.BankF, in.B}}
+	case ir.OpItoC:
+		return []regKey{{ir.BankI, in.B}}
+	case ir.OpBoxC:
+		return []regKey{{ir.BankC, in.B}}
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFPow, ir.OpFMod, ir.OpFRem,
+		ir.OpFAnd, ir.OpFOr, ir.OpFCmpEq, ir.OpFCmpNe, ir.OpFCmpLt, ir.OpFCmpLe:
+		return []regKey{{ir.BankF, in.B}, {ir.BankF, in.C}}
+	case ir.OpFNeg, ir.OpFNot, ir.OpFMath:
+		return []regKey{{ir.BankF, in.B}}
+	case ir.OpIAdd, ir.OpISub, ir.OpIMul, ir.OpIMod,
+		ir.OpICmpEq, ir.OpICmpNe, ir.OpICmpLt, ir.OpICmpLe:
+		return []regKey{{ir.BankI, in.B}, {ir.BankI, in.C}}
+	case ir.OpINeg:
+		return []regKey{{ir.BankI, in.B}}
+	case ir.OpCAdd, ir.OpCSub, ir.OpCMul, ir.OpCDiv, ir.OpCPow, ir.OpCCmpEq, ir.OpCCmpNe:
+		return []regKey{{ir.BankC, in.B}, {ir.BankC, in.C}}
+	case ir.OpCNeg, ir.OpCMath, ir.OpCConj, ir.OpCAbs, ir.OpCReal, ir.OpCImag:
+		return []regKey{{ir.BankC, in.B}}
+	case ir.OpFLd1:
+		return []regKey{{ir.BankF, in.C}}
+	case ir.OpFLd1U:
+		return []regKey{{ir.BankI, in.C}}
+	case ir.OpFLd2:
+		return []regKey{{ir.BankF, in.C}, {ir.BankF, in.D}}
+	case ir.OpFLd2U:
+		return []regKey{{ir.BankI, in.C}, {ir.BankI, in.D}}
+	case ir.OpFSt1:
+		return []regKey{{ir.BankF, in.B}, {ir.BankF, in.C}}
+	case ir.OpFSt1U:
+		return []regKey{{ir.BankI, in.B}, {ir.BankF, in.C}}
+	case ir.OpFSt2:
+		return []regKey{{ir.BankF, in.B}, {ir.BankF, in.C}, {ir.BankF, in.D}}
+	case ir.OpFSt2U:
+		return []regKey{{ir.BankI, in.B}, {ir.BankI, in.C}, {ir.BankF, in.D}}
+	case ir.OpVNewZeros, ir.OpVEnsure:
+		return []regKey{{ir.BankI, in.B}, {ir.BankI, in.C}}
+	}
+	return nil
+}
+
+// sideEffect reports whether an instruction must be kept regardless of
+// register liveness.
+func sideEffect(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpJmp, ir.OpRet,
+		ir.OpBrTrueF, ir.OpBrFalseF, ir.OpBrFalseV, ir.OpBrTrueV,
+		ir.OpBrFLt, ir.OpBrFLe, ir.OpBrFEq, ir.OpBrFNe, ir.OpBrFNLt, ir.OpBrFNLe,
+		ir.OpBrILt, ir.OpBrILe, ir.OpBrIEq, ir.OpBrINe,
+		ir.OpFSt1, ir.OpFSt1U, ir.OpFSt2, ir.OpFSt2U,
+		ir.OpVMov, ir.OpVMovSwap, ir.OpVClone, ir.OpVNewZeros, ir.OpVEnsure, ir.OpVEnsureOwn, ir.OpVMarkShared,
+		ir.OpVConst, ir.OpVDisplay,
+		ir.OpGBin, ir.OpGUn, ir.OpGIndex, ir.OpGAssign, ir.OpGColon, ir.OpGCat,
+		ir.OpGBuiltin, ir.OpCallUser, ir.OpGEMV,
+		ir.OpBoxF, ir.OpBoxI, ir.OpBoxC,
+		ir.OpUnboxF, ir.OpUnboxI, ir.OpUnboxC: // unbox ops can fault
+		return true
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics feeds the parser random token soup: it must
+// return an error or an AST, never crash. (Go's native fuzzing is
+// unavailable offline, so this is a deterministic mini-fuzzer.)
+func TestParserNeverPanics(t *testing.T) {
+	pieces := []string{
+		"x", "y", "foo", "if", "else", "elseif", "end", "for", "while",
+		"function", "return", "break", "continue", "switch", "case",
+		"otherwise", "global", "clear",
+		"1", "2.5", "1e3", "3i", "'str'", "'it''s'",
+		"+", "-", "*", "/", "\\", "^", ".*", "./", ".^", "'", ".'",
+		"==", "~=", "<", "<=", ">", ">=", "&", "|", "&&", "||", "~",
+		"(", ")", "[", "]", ",", ";", ":", "=", "\n", " ", "...",
+		"%comment", "@",
+	}
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 3000; trial++ {
+		var b strings.Builder
+		n := 1 + r.Intn(30)
+		for i := 0; i < n; i++ {
+			b.WriteString(pieces[r.Intn(len(pieces))])
+			if r.Intn(3) == 0 {
+				b.WriteByte(' ')
+			}
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("parser panicked on %q: %v", src, rec)
+				}
+			}()
+			_, _ = Parse(src) // error or AST; both fine
+		}()
+	}
+}
+
+// TestParserNeverPanicsOnBytes pushes raw byte noise through.
+func TestParserNeverPanicsOnBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		n := r.Intn(60)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(r.Intn(128))
+		}
+		src := string(buf)
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("parser panicked on %q: %v", src, rec)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+}
+
+// TestParseExprNeverPanics covers the expression entry point too.
+func TestParseExprNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	pieces := []string{"x", "1", "(", ")", "[", "]", "+", "*", ":", "end", "'s'", "'", ",", "-"}
+	for trial := 0; trial < 3000; trial++ {
+		var b strings.Builder
+		for i := 0; i < 1+r.Intn(12); i++ {
+			b.WriteString(pieces[r.Intn(len(pieces))])
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("ParseExpr panicked on %q: %v", src, rec)
+				}
+			}()
+			_, _ = ParseExpr(src)
+		}()
+	}
+}

@@ -1,0 +1,533 @@
+// Package regalloc implements linear-scan register allocation
+// (Poletto & Sarkar, TOPLAS 1999) over the scalar banks of the IR — the
+// same allocator MaJIC re-implemented from tcc for its JIT code
+// generator. Spilled virtual registers are rewritten into slot
+// loads/stores around each use; the SpillAll mode spills every virtual
+// register, reproducing the paper's "no regalloc" ablation ("roughly
+// equivalent to compiling with the -g flag").
+//
+// Only the F, I and C banks are allocated: V registers hold array
+// pointers, which on the paper's target machines live in memory anyway.
+package regalloc
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Options configures allocation.
+type Options struct {
+	FRegs, IRegs, CRegs int // physical registers per bank
+	SpillAll            bool
+}
+
+// DefaultOptions models a RISC register file (the UltraSPARC target of
+// the paper has 32 integer and 32 floating-point registers): 24
+// allocatable FP registers, 24 integer, 8 complex pairs.
+func DefaultOptions() Options {
+	return Options{FRegs: 24, IRegs: 24, CRegs: 8}
+}
+
+type opRef struct {
+	field *int32
+	bank  ir.Bank
+	isDef bool
+}
+
+// refs enumerates the scalar register operands of an instruction.
+func refs(in *ir.Instr, out []opRef) []opRef {
+	add := func(f *int32, b ir.Bank, def bool) {
+		out = append(out, opRef{field: f, bank: b, isDef: def})
+	}
+	switch in.Op {
+	// --- branches (uses only) ---
+	case ir.OpBrTrueF, ir.OpBrFalseF:
+		add(&in.A, ir.BankF, false)
+	case ir.OpBrFLt, ir.OpBrFLe, ir.OpBrFEq, ir.OpBrFNe, ir.OpBrFNLt, ir.OpBrFNLe:
+		add(&in.A, ir.BankF, false)
+		add(&in.B, ir.BankF, false)
+	case ir.OpBrILt, ir.OpBrILe, ir.OpBrIEq, ir.OpBrINe:
+		add(&in.A, ir.BankI, false)
+		add(&in.B, ir.BankI, false)
+
+	// --- moves/consts ---
+	case ir.OpFMov:
+		add(&in.A, ir.BankF, true)
+		add(&in.B, ir.BankF, false)
+	case ir.OpIMov:
+		add(&in.A, ir.BankI, true)
+		add(&in.B, ir.BankI, false)
+	case ir.OpCMov:
+		add(&in.A, ir.BankC, true)
+		add(&in.B, ir.BankC, false)
+	case ir.OpFConst:
+		add(&in.A, ir.BankF, true)
+	case ir.OpIConst:
+		add(&in.A, ir.BankI, true)
+	case ir.OpCConst:
+		add(&in.A, ir.BankC, true)
+
+	// --- conversions ---
+	case ir.OpItoF:
+		add(&in.A, ir.BankF, true)
+		add(&in.B, ir.BankI, false)
+	case ir.OpFtoI:
+		add(&in.A, ir.BankI, true)
+		add(&in.B, ir.BankF, false)
+	case ir.OpFtoC:
+		add(&in.A, ir.BankC, true)
+		add(&in.B, ir.BankF, false)
+	case ir.OpItoC:
+		add(&in.A, ir.BankC, true)
+		add(&in.B, ir.BankI, false)
+	case ir.OpBoxF:
+		add(&in.B, ir.BankF, false)
+	case ir.OpBoxI:
+		add(&in.B, ir.BankI, false)
+	case ir.OpBoxC:
+		add(&in.B, ir.BankC, false)
+	case ir.OpUnboxF:
+		add(&in.A, ir.BankF, true)
+	case ir.OpUnboxI:
+		add(&in.A, ir.BankI, true)
+	case ir.OpUnboxC:
+		add(&in.A, ir.BankC, true)
+
+	// --- F arithmetic ---
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv, ir.OpFPow, ir.OpFMod, ir.OpFRem,
+		ir.OpFAnd, ir.OpFOr, ir.OpFCmpEq, ir.OpFCmpNe, ir.OpFCmpLt, ir.OpFCmpLe:
+		add(&in.A, ir.BankF, true)
+		add(&in.B, ir.BankF, false)
+		add(&in.C, ir.BankF, false)
+	case ir.OpFNeg, ir.OpFNot:
+		add(&in.A, ir.BankF, true)
+		add(&in.B, ir.BankF, false)
+	case ir.OpFMath:
+		add(&in.A, ir.BankF, true)
+		add(&in.B, ir.BankF, false)
+		// C is a function id, not a register
+
+	// --- I arithmetic ---
+	case ir.OpIAdd, ir.OpISub, ir.OpIMul, ir.OpIMod:
+		add(&in.A, ir.BankI, true)
+		add(&in.B, ir.BankI, false)
+		add(&in.C, ir.BankI, false)
+	case ir.OpINeg:
+		add(&in.A, ir.BankI, true)
+		add(&in.B, ir.BankI, false)
+	case ir.OpICmpEq, ir.OpICmpNe, ir.OpICmpLt, ir.OpICmpLe:
+		add(&in.A, ir.BankF, true)
+		add(&in.B, ir.BankI, false)
+		add(&in.C, ir.BankI, false)
+
+	// --- C arithmetic ---
+	case ir.OpCAdd, ir.OpCSub, ir.OpCMul, ir.OpCDiv, ir.OpCPow:
+		add(&in.A, ir.BankC, true)
+		add(&in.B, ir.BankC, false)
+		add(&in.C, ir.BankC, false)
+	case ir.OpCNeg, ir.OpCConj:
+		add(&in.A, ir.BankC, true)
+		add(&in.B, ir.BankC, false)
+	case ir.OpCMath:
+		add(&in.A, ir.BankC, true)
+		add(&in.B, ir.BankC, false)
+	case ir.OpCAbs, ir.OpCReal, ir.OpCImag:
+		add(&in.A, ir.BankF, true)
+		add(&in.B, ir.BankC, false)
+	case ir.OpCCmpEq, ir.OpCCmpNe:
+		add(&in.A, ir.BankF, true)
+		add(&in.B, ir.BankC, false)
+		add(&in.C, ir.BankC, false)
+
+	// --- array access ---
+	case ir.OpFLd1:
+		add(&in.A, ir.BankF, true)
+		add(&in.C, ir.BankF, false)
+	case ir.OpFLd1U:
+		add(&in.A, ir.BankF, true)
+		add(&in.C, ir.BankI, false)
+	case ir.OpFLd2:
+		add(&in.A, ir.BankF, true)
+		add(&in.C, ir.BankF, false)
+		add(&in.D, ir.BankF, false)
+	case ir.OpFLd2U:
+		add(&in.A, ir.BankF, true)
+		add(&in.C, ir.BankI, false)
+		add(&in.D, ir.BankI, false)
+	case ir.OpFSt1:
+		add(&in.B, ir.BankF, false)
+		add(&in.C, ir.BankF, false)
+	case ir.OpFSt1U:
+		add(&in.B, ir.BankI, false)
+		add(&in.C, ir.BankF, false)
+	case ir.OpFSt2:
+		add(&in.B, ir.BankF, false)
+		add(&in.C, ir.BankF, false)
+		add(&in.D, ir.BankF, false)
+	case ir.OpFSt2U:
+		add(&in.B, ir.BankI, false)
+		add(&in.C, ir.BankI, false)
+		add(&in.D, ir.BankF, false)
+
+	case ir.OpVNewZeros, ir.OpVEnsure:
+		add(&in.B, ir.BankI, false)
+		add(&in.C, ir.BankI, false)
+	case ir.OpVRows, ir.OpVCols, ir.OpVNumel:
+		add(&in.A, ir.BankI, true)
+	}
+	return out
+}
+
+type interval struct {
+	vreg     int32
+	start    int
+	end      int
+	phys     int32
+	spilled  bool
+	slot     int32
+	hasSlot  bool
+	isParam  bool
+	assigned bool
+}
+
+// Allocate rewrites p in place from virtual to physical registers,
+// inserting spill code. It must be called exactly once per program.
+func Allocate(p *ir.Prog, opts Options) {
+	if p.Allocated {
+		return
+	}
+	p.Allocated = true
+	for _, bank := range []ir.Bank{ir.BankF, ir.BankI, ir.BankC} {
+		allocateBank(p, bank, opts)
+	}
+}
+
+func bankCount(p *ir.Prog, b ir.Bank) *int32 {
+	switch b {
+	case ir.BankF:
+		return &p.NumF
+	case ir.BankI:
+		return &p.NumI
+	default:
+		return &p.NumC
+	}
+}
+
+func bankSlots(p *ir.Prog, b ir.Bank) *int32 {
+	switch b {
+	case ir.BankF:
+		return &p.SlotsF
+	case ir.BankI:
+		return &p.SlotsI
+	default:
+		return &p.SlotsC
+	}
+}
+
+func slotOps(b ir.Bank) (load, store ir.Op) {
+	switch b {
+	case ir.BankF:
+		return ir.OpFLdSlot, ir.OpFStSlot
+	case ir.BankI:
+		return ir.OpILdSlot, ir.OpIStSlot
+	default:
+		return ir.OpCLdSlot, ir.OpCStSlot
+	}
+}
+
+func physCount(opts Options, b ir.Bank) int {
+	switch b {
+	case ir.BankF:
+		return opts.FRegs
+	case ir.BankI:
+		return opts.IRegs
+	default:
+		return opts.CRegs
+	}
+}
+
+func allocateBank(p *ir.Prog, bank ir.Bank, opts Options) {
+	nv := int(*bankCount(p, bank))
+	if nv == 0 {
+		return
+	}
+	// Build live intervals.
+	ivs := make([]*interval, nv)
+	touch := func(vreg int32, pos int) {
+		iv := ivs[vreg]
+		if iv == nil {
+			iv = &interval{vreg: vreg, start: pos, end: pos}
+			ivs[vreg] = iv
+			return
+		}
+		if pos < iv.start {
+			iv.start = pos
+		}
+		if pos > iv.end {
+			iv.end = pos
+		}
+	}
+	for _, b := range p.Params {
+		if b.Bank == bank {
+			touch(b.Reg, 0)
+			// params are live from entry
+		}
+	}
+	// Record the per-position events so loop extension can distinguish
+	// iteration-local temporaries from loop-carried values.
+	type event struct {
+		pos   int
+		vreg  int32
+		isDef bool
+	}
+	var events []event
+	var scratchRefs []opRef
+	for pos := range p.Ins {
+		scratchRefs = refs(&p.Ins[pos], scratchRefs[:0])
+		// uses happen before defs within one instruction
+		for _, r := range scratchRefs {
+			if r.bank == bank && !r.isDef {
+				touch(*r.field, pos)
+				events = append(events, event{pos, *r.field, false})
+			}
+		}
+		for _, r := range scratchRefs {
+			if r.bank == bank && r.isDef {
+				touch(*r.field, pos)
+				events = append(events, event{pos, *r.field, true})
+			}
+		}
+	}
+	// Extend intervals across loops (backward branches): a value is live
+	// around the backedge only when its first event inside the loop
+	// region is a read — either it was defined before the loop, or the
+	// previous iteration's value flows in (loop-carried). Temporaries
+	// that are always written before being read stay iteration-local,
+	// which keeps register pressure sane in unrolled loops.
+	type loop struct{ lo, hi int }
+	var loops []loop
+	for pos, in := range p.Ins {
+		var tgt int32 = -1
+		switch in.Op {
+		case ir.OpJmp:
+			tgt = in.A
+		case ir.OpBrTrueF, ir.OpBrFalseF, ir.OpBrFalseV, ir.OpBrTrueV,
+			ir.OpBrFLt, ir.OpBrFLe, ir.OpBrFEq, ir.OpBrFNe, ir.OpBrFNLt, ir.OpBrFNLe,
+			ir.OpBrILt, ir.OpBrILe, ir.OpBrIEq, ir.OpBrINe:
+			tgt = in.C
+		}
+		if tgt >= 0 && int(tgt) <= pos {
+			loops = append(loops, loop{lo: int(tgt), hi: pos})
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, l := range loops {
+			// first event kind per vreg within [lo, hi]
+			firstIsUse := map[int32]bool{}
+			seen := map[int32]bool{}
+			for _, ev := range events {
+				if ev.pos < l.lo || ev.pos > l.hi || seen[ev.vreg] {
+					continue
+				}
+				seen[ev.vreg] = true
+				firstIsUse[ev.vreg] = !ev.isDef
+			}
+			for vreg, carried := range firstIsUse {
+				iv := ivs[vreg]
+				if iv == nil {
+					continue
+				}
+				// Values used after the loop are live through the
+				// backedge as well when defined before/inside it.
+				usedAfter := iv.end > l.hi && iv.start <= l.hi
+				if !carried && !usedAfter {
+					continue
+				}
+				if iv.start > l.lo {
+					iv.start = l.lo
+					changed = true
+				}
+				if iv.end < l.hi {
+					iv.end = l.hi
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Linear scan.
+	k := physCount(opts, bank)
+	var sorted []*interval
+	for _, iv := range ivs {
+		if iv != nil {
+			sorted = append(sorted, iv)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].start != sorted[j].start {
+			return sorted[i].start < sorted[j].start
+		}
+		return sorted[i].vreg < sorted[j].vreg
+	})
+
+	nextSlot := int32(0)
+	assignSlot := func(iv *interval) {
+		if !iv.hasSlot {
+			iv.slot = nextSlot
+			iv.hasSlot = true
+			nextSlot++
+		}
+		iv.spilled = true
+	}
+
+	if opts.SpillAll {
+		for _, iv := range sorted {
+			assignSlot(iv)
+		}
+	} else {
+		free := make([]int32, 0, k)
+		for i := k - 1; i >= 0; i-- {
+			free = append(free, int32(i))
+		}
+		var active []*interval // sorted by end
+		insertActive := func(iv *interval) {
+			at := sort.Search(len(active), func(i int) bool { return active[i].end > iv.end })
+			active = append(active, nil)
+			copy(active[at+1:], active[at:])
+			active[at] = iv
+		}
+		for _, iv := range sorted {
+			// expire old intervals
+			live := active[:0]
+			for _, a := range active {
+				if a.end < iv.start {
+					free = append(free, a.phys)
+				} else {
+					live = append(live, a)
+				}
+			}
+			active = live
+			if len(free) == 0 {
+				// spill the interval with the furthest end
+				last := active[len(active)-1]
+				if last.end > iv.end {
+					iv.phys = last.phys
+					iv.assigned = true
+					assignSlot(last)
+					last.assigned = false
+					active = active[:len(active)-1]
+					insertActive(iv)
+				} else {
+					assignSlot(iv)
+				}
+				continue
+			}
+			iv.phys = free[len(free)-1]
+			free = free[:len(free)-1]
+			iv.assigned = true
+			insertActive(iv)
+		}
+	}
+
+	// Rewrite the instruction stream. Scratch registers live above the
+	// allocatable set: k, k+1, k+2.
+	load, store := slotOps(bank)
+	var out []ir.Instr
+	newPos := make([]int32, len(p.Ins)+1)
+	for pos := range p.Ins {
+		newPos[pos] = int32(len(out))
+		in := p.Ins[pos]
+		scratchRefs = refs(&in, scratchRefs[:0])
+		scratchNext := int32(k)
+		type defFix struct {
+			scratch int32
+			slot    int32
+		}
+		var defs []defFix
+		seen := map[int32]int32{} // vreg → scratch already loaded for this instr
+		// Sources first: a def of the same vreg must not shadow the load.
+		for _, r := range scratchRefs {
+			if r.bank != bank || r.isDef {
+				continue
+			}
+			iv := ivs[*r.field]
+			if iv == nil {
+				continue
+			}
+			if !iv.spilled {
+				*r.field = iv.phys
+				continue
+			}
+			if s, ok := seen[iv.vreg]; ok {
+				*r.field = s
+				continue
+			}
+			s := scratchNext
+			scratchNext++
+			out = append(out, ir.Instr{Op: load, A: s, B: iv.slot})
+			seen[iv.vreg] = s
+			*r.field = s
+		}
+		for _, r := range scratchRefs {
+			if r.bank != bank || !r.isDef {
+				continue
+			}
+			iv := ivs[*r.field]
+			if iv == nil {
+				continue
+			}
+			if !iv.spilled {
+				*r.field = iv.phys
+				continue
+			}
+			s := scratchNext
+			scratchNext++
+			defs = append(defs, defFix{scratch: s, slot: iv.slot})
+			*r.field = s
+		}
+		out = append(out, in)
+		for _, d := range defs {
+			out = append(out, ir.Instr{Op: store, A: d.slot, B: d.scratch})
+		}
+	}
+	newPos[len(p.Ins)] = int32(len(out))
+
+	// Fix branch targets.
+	for i := range out {
+		in := &out[i]
+		switch in.Op {
+		case ir.OpJmp:
+			in.A = newPos[in.A]
+		case ir.OpBrTrueF, ir.OpBrFalseF, ir.OpBrFalseV, ir.OpBrTrueV,
+			ir.OpBrFLt, ir.OpBrFLe, ir.OpBrFEq, ir.OpBrFNe, ir.OpBrFNLt, ir.OpBrFNLe,
+			ir.OpBrILt, ir.OpBrILe, ir.OpBrIEq, ir.OpBrINe:
+			in.C = newPos[in.C]
+		}
+	}
+	p.Ins = out
+
+	// Fix parameter bindings.
+	for i := range p.Params {
+		b := &p.Params[i]
+		if b.Bank != bank {
+			continue
+		}
+		iv := ivs[b.Reg]
+		if iv == nil {
+			b.Reg = 0
+			continue
+		}
+		if iv.spilled {
+			b.Slot = true
+			b.Reg = iv.slot
+		} else {
+			b.Reg = iv.phys
+		}
+	}
+
+	*bankCount(p, bank) = int32(k + 3) // physical + 3 scratch
+	*bankSlots(p, bank) = nextSlot
+}

@@ -1,0 +1,164 @@
+// Package repo implements MaJIC's code repository (paper §2): a
+// database of compiled code keyed by type signatures. The function
+// locator retrieves, for a given invocation, a semantically safe entry
+// (every actual type a subtype of the assumed type) that is optimal
+// performance-wise, ranking safe candidates by a Manhattan-like
+// distance between signatures. Misses trigger JIT compilation; the
+// repository also hosts speculatively compiled entries and re-compiled
+// (better-optimized) replacements.
+package repo
+
+import (
+	"sync"
+
+	"repro/internal/types"
+	"repro/internal/vm"
+)
+
+// Quality grades how optimized an entry is; the locator prefers closer
+// signatures first and higher quality second, and the engine may
+// replace an entry with a higher-quality recompilation.
+type Quality uint8
+
+const (
+	// QualityInterp marks a "compiled" entry that actually falls back
+	// to interpretation (unsupported constructs).
+	QualityInterp Quality = iota
+	// QualityJIT is fast naive code from the JIT code generator.
+	QualityJIT
+	// QualityOpt is backend-optimized code (the speculative/batch path).
+	QualityOpt
+)
+
+func (q Quality) String() string {
+	return [...]string{"interp", "jit", "opt"}[q]
+}
+
+// Entry is one compiled version of a function.
+type Entry struct {
+	Sig     types.Signature
+	Code    *vm.Compiled // nil for QualityInterp
+	Quality Quality
+	// Speculative marks entries produced ahead of time by the
+	// speculator (for the harness's hit/miss statistics).
+	Speculative bool
+	Hits        int
+}
+
+// Stats counts repository traffic.
+type Stats struct {
+	Lookups      int
+	Hits         int
+	Misses       int
+	Inserts      int
+	SpecHits     int // hits on speculative entries
+	Invalidation int
+}
+
+// Repository is the signature-keyed code database.
+type Repository struct {
+	mu    sync.Mutex
+	funcs map[string][]*Entry
+	stats Stats
+}
+
+// New returns an empty repository.
+func New() *Repository {
+	return &Repository{funcs: map[string][]*Entry{}}
+}
+
+// Lookup returns the best safe entry for an invocation signature, or
+// nil. Best = minimal Manhattan distance, ties broken by quality.
+func (r *Repository) Lookup(name string, q types.Signature) *Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Lookups++
+	var best *Entry
+	bestDist := 0
+	for _, e := range r.funcs[name] {
+		if !e.Sig.Safe(q) {
+			continue
+		}
+		d := e.Sig.Distance(q)
+		if best == nil || d < bestDist || (d == bestDist && e.Quality > best.Quality) {
+			best, bestDist = e, d
+		}
+	}
+	if best != nil {
+		r.stats.Hits++
+		best.Hits++
+		if best.Speculative {
+			r.stats.SpecHits++
+		}
+	} else {
+		r.stats.Misses++
+	}
+	return best
+}
+
+// Entries returns the compiled versions of a function (for majicc -dump
+// and tests).
+func (r *Repository) Entries(name string) []*Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Entry(nil), r.funcs[name]...)
+}
+
+// Insert adds an entry.
+func (r *Repository) Insert(name string, e *Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Inserts++
+	r.funcs[name] = append(r.funcs[name], e)
+}
+
+// Invalidate drops all entries for a function (source change detected
+// by the snooper).
+func (r *Repository) Invalidate(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.funcs[name]; ok {
+		delete(r.funcs, name)
+		r.stats.Invalidation++
+	}
+}
+
+// SameKindsDifferentDetail reports whether an existing entry matches
+// the requested signature's intrinsic kinds and arity but not its
+// ranges/shapes — the trigger for the widening policy that prevents
+// compiling one version per distinct constant argument (recursive
+// calls like fibonacci(n-1) would otherwise recompile for every n).
+func (r *Repository) SameKindsDifferentDetail(name string, q types.Signature) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.funcs[name] {
+		if len(e.Sig) != len(q) {
+			continue
+		}
+		same := true
+		for i := range q {
+			if e.Sig[i].I != q[i].I {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a copy of the counters.
+func (r *Repository) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// ResetStats clears the counters.
+func (r *Repository) ResetStats() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats = Stats{}
+}

@@ -1,0 +1,116 @@
+package repo
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/types"
+)
+
+func intScalar(v float64) types.Type { return types.ScalarOf(types.IInt, types.Const(v)) }
+
+func TestLookupSafety(t *testing.T) {
+	r := New()
+	exact := types.Signature{intScalar(20)}
+	r.Insert("f", &Entry{Sig: exact, Quality: QualityJIT})
+
+	// exact hit
+	if e := r.Lookup("f", types.Signature{intScalar(20)}); e == nil {
+		t.Fatal("exact signature must hit")
+	}
+	// different constant: unsafe, miss
+	if e := r.Lookup("f", types.Signature{intScalar(19)}); e != nil {
+		t.Fatal("f(19) must not match code specialized for 20")
+	}
+	// arity mismatch: miss
+	if e := r.Lookup("f", types.Signature{intScalar(20), intScalar(1)}); e != nil {
+		t.Fatal("arity mismatch must miss")
+	}
+	// unknown function: miss
+	if e := r.Lookup("g", types.Signature{intScalar(20)}); e != nil {
+		t.Fatal("unknown function must miss")
+	}
+}
+
+func TestLocatorPrefersClosest(t *testing.T) {
+	r := New()
+	widened := types.Signature{types.ScalarOf(types.IInt, types.RangeTop)}
+	generic := types.Signature{types.Top}
+	exact := types.Signature{intScalar(20)}
+	r.Insert("f", &Entry{Sig: generic, Quality: QualityJIT})
+	r.Insert("f", &Entry{Sig: widened, Quality: QualityJIT})
+	r.Insert("f", &Entry{Sig: exact, Quality: QualityJIT})
+
+	got := r.Lookup("f", types.Signature{intScalar(20)})
+	if got == nil || !got.Sig.Safe(types.Signature{intScalar(20)}) {
+		t.Fatal("lookup failed")
+	}
+	if got.Sig.Key() != exact.Key() {
+		t.Errorf("locator picked %s, want the exact entry", got.Sig)
+	}
+	// a different constant should pick the widened version over generic
+	got = r.Lookup("f", types.Signature{intScalar(7)})
+	if got == nil || got.Sig.Key() != widened.Key() {
+		t.Errorf("locator picked %v, want widened int entry", got)
+	}
+	// a matrix argument only fits the generic entry
+	got = r.Lookup("f", types.Signature{types.OfValue(mat.New(3, 3))})
+	if got == nil || got.Sig.Key() != generic.Key() {
+		t.Errorf("locator picked %v, want generic entry", got)
+	}
+}
+
+func TestQualityBreaksTies(t *testing.T) {
+	r := New()
+	sig := types.Signature{types.ScalarOf(types.IInt, types.RangeTop)}
+	r.Insert("f", &Entry{Sig: sig, Quality: QualityJIT})
+	r.Insert("f", &Entry{Sig: sig, Quality: QualityOpt})
+	got := r.Lookup("f", types.Signature{intScalar(5)})
+	if got == nil || got.Quality != QualityOpt {
+		t.Errorf("locator must prefer optimized code on signature ties, got %v", got)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	r := New()
+	sig := types.Signature{types.Top}
+	r.Insert("f", &Entry{Sig: sig, Quality: QualityJIT})
+	r.Invalidate("f")
+	if e := r.Lookup("f", types.Signature{intScalar(1)}); e != nil {
+		t.Fatal("entries must be dropped after invalidation")
+	}
+	st := r.Stats()
+	if st.Invalidation != 1 {
+		t.Errorf("invalidation count %d", st.Invalidation)
+	}
+}
+
+func TestWideningTrigger(t *testing.T) {
+	r := New()
+	r.Insert("f", &Entry{Sig: types.Signature{intScalar(20)}, Quality: QualityJIT})
+	if !r.SameKindsDifferentDetail("f", types.Signature{intScalar(19)}) {
+		t.Error("same kinds, different constants must trigger widening")
+	}
+	if r.SameKindsDifferentDetail("f", types.Signature{types.ScalarOf(types.IReal, types.Const(19))}) {
+		t.Error("different intrinsic kind must not trigger widening")
+	}
+	if r.SameKindsDifferentDetail("g", types.Signature{intScalar(19)}) {
+		t.Error("unknown function must not trigger widening")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	r := New()
+	sig := types.Signature{types.ScalarOf(types.IInt, types.RangeTop)}
+	r.Insert("f", &Entry{Sig: sig, Quality: QualityOpt, Speculative: true})
+	r.Lookup("f", types.Signature{intScalar(3)}) // hit, speculative
+	r.Lookup("g", types.Signature{intScalar(3)}) // miss
+	st := r.Stats()
+	if st.Lookups != 2 || st.Hits != 1 || st.Misses != 1 || st.SpecHits != 1 || st.Inserts != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	r.ResetStats()
+	if r.Stats().Lookups != 0 {
+		t.Error("ResetStats")
+	}
+}

@@ -1,0 +1,635 @@
+// Package vm executes allocated IR programs on a register machine: the
+// stand-in for the native code MaJIC emitted through the vcode dynamic
+// assembler. Typed instructions operate on unboxed float64 / int64 /
+// complex128 registers; generic instructions dispatch into the boxed
+// runtime of internal/mat and internal/builtins, exactly as the paper's
+// generated code calls into the MATLAB C library for unspecialized
+// operations.
+package vm
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/ast"
+	"repro/internal/builtins"
+	"repro/internal/ir"
+	"repro/internal/mat"
+)
+
+// Host provides the services compiled code needs from the engine:
+// dispatching calls to user functions (through the code repository) and
+// the shared builtin context.
+type Host interface {
+	CallFunction(name string, args []*mat.Value, nout int) ([]*mat.Value, error)
+	Context() *builtins.Context
+}
+
+// colonMarker is the distinguished boxed value representing a ':'
+// subscript in generic indexing instructions.
+var colonMarker = mat.Empty()
+
+// Compiled wraps a Prog with resolved builtin/math-function tables so
+// repeated invocations skip name resolution.
+type Compiled struct {
+	P        *ir.Prog
+	mathFns  []func(float64) float64
+	cmathFns []func(complex128) complex128
+	builtins []*builtins.Builtin
+	vpool    []*mat.Value
+}
+
+// Prepare resolves the program's name tables.
+func Prepare(p *ir.Prog) (*Compiled, error) {
+	c := &Compiled{P: p}
+	for _, name := range p.MathFns {
+		f, ok := scalarMathFn(name)
+		if !ok {
+			return nil, fmt.Errorf("vm: unknown math function %q", name)
+		}
+		c.mathFns = append(c.mathFns, f)
+		c.cmathFns = append(c.cmathFns, cmathFn(name))
+	}
+	for _, name := range p.Builtins {
+		b := builtins.Lookup(name)
+		if b == nil {
+			return nil, fmt.Errorf("vm: unknown builtin %q", name)
+		}
+		c.builtins = append(c.builtins, b)
+	}
+	for _, vc := range p.VPoolStrs {
+		if vc.IsColon {
+			c.vpool = append(c.vpool, colonMarker)
+		} else {
+			v := mat.FromString(vc.Str)
+			v.MarkShared()
+			c.vpool = append(c.vpool, v)
+		}
+	}
+	return c, nil
+}
+
+func scalarMathFn(name string) (func(float64) float64, bool) {
+	if f, ok := builtins.ScalarMathFunc(name); ok {
+		return f, true
+	}
+	return nil, false
+}
+
+func cmathFn(name string) func(complex128) complex128 {
+	switch name {
+	case "sqrt":
+		return cmplx.Sqrt
+	case "exp":
+		return cmplx.Exp
+	case "log":
+		return cmplx.Log
+	case "sin":
+		return cmplx.Sin
+	case "cos":
+		return cmplx.Cos
+	case "tan":
+		return cmplx.Tan
+	case "sinh":
+		return cmplx.Sinh
+	case "cosh":
+		return cmplx.Cosh
+	case "tanh":
+		return cmplx.Tanh
+	default:
+		return nil
+	}
+}
+
+// Error wraps a runtime failure with the program and pc.
+type Error struct {
+	Fn  string
+	PC  int
+	Err error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s+%d: %v", e.Fn, e.PC, e.Err) }
+func (e *Error) Unwrap() error { return e.Err }
+
+// Run executes the compiled function with the given boxed arguments.
+func Run(c *Compiled, host Host, args []*mat.Value) ([]*mat.Value, error) {
+	p := c.P
+	if len(args) != len(p.Params) {
+		return nil, fmt.Errorf("vm: %s called with %d args, compiled for %d", p.Name, len(args), len(p.Params))
+	}
+	fr := make([]float64, p.NumF+p.SlotsF)
+	ir2 := make([]int64, p.NumI+p.SlotsI)
+	cr := make([]complex128, p.NumC+p.SlotsC)
+	vr := make([]*mat.Value, p.NumV+p.SlotsV)
+	F := fr[:p.NumF]
+	I := ir2[:p.NumI]
+	C := cr[:p.NumC]
+	V := vr[:p.NumV]
+	SF := fr[p.NumF:]
+	SI := ir2[p.NumI:]
+	SC := cr[p.NumC:]
+	SV := vr[p.NumV:]
+	if p.NumF == 0 {
+		F = nil
+	}
+
+	ctx := host.Context()
+
+	for i, b := range p.Params {
+		a := args[i]
+		switch b.Bank {
+		case ir.BankV:
+			a.MarkShared()
+			V[b.Reg] = a
+		case ir.BankF:
+			x, err := unboxF(a)
+			if err != nil {
+				return nil, fmt.Errorf("vm: %s parameter %d: %v", p.Name, i+1, err)
+			}
+			if b.Slot {
+				SF[b.Reg] = x
+			} else {
+				F[b.Reg] = x
+			}
+		case ir.BankI:
+			x, err := unboxF(a)
+			if err != nil || x != math.Trunc(x) {
+				return nil, fmt.Errorf("vm: %s parameter %d: expected integer scalar", p.Name, i+1)
+			}
+			if b.Slot {
+				SI[b.Reg] = int64(x)
+			} else {
+				I[b.Reg] = int64(x)
+			}
+		case ir.BankC:
+			if !a.IsScalar() {
+				return nil, fmt.Errorf("vm: %s parameter %d: expected scalar", p.Name, i+1)
+			}
+			if b.Slot {
+				SC[b.Reg] = a.ComplexAt(0)
+			} else {
+				C[b.Reg] = a.ComplexAt(0)
+			}
+		}
+	}
+
+	ins := p.Ins
+	pc := 0
+	var err error
+	for {
+		in := &ins[pc]
+		switch in.Op {
+		case ir.OpNop:
+		case ir.OpJmp:
+			pc = int(in.A)
+			continue
+		case ir.OpRet:
+			outs := make([]*mat.Value, len(p.OutRegs))
+			for i, reg := range p.OutRegs {
+				v := V[reg]
+				if v == nil {
+					v = mat.Empty()
+				}
+				v.MarkShared()
+				outs[i] = v
+			}
+			return outs, nil
+
+		case ir.OpBrTrueF:
+			if F[in.A] != 0 {
+				pc = int(in.C)
+				continue
+			}
+		case ir.OpBrFalseF:
+			if F[in.A] == 0 {
+				pc = int(in.C)
+				continue
+			}
+		case ir.OpBrFalseV:
+			if V[in.A] == nil || !V[in.A].IsTrue() {
+				pc = int(in.C)
+				continue
+			}
+		case ir.OpBrTrueV:
+			if V[in.A] != nil && V[in.A].IsTrue() {
+				pc = int(in.C)
+				continue
+			}
+		case ir.OpBrFLt:
+			if F[in.A] < F[in.B] {
+				pc = int(in.C)
+				continue
+			}
+		case ir.OpBrFLe:
+			if F[in.A] <= F[in.B] {
+				pc = int(in.C)
+				continue
+			}
+		case ir.OpBrFEq:
+			if F[in.A] == F[in.B] {
+				pc = int(in.C)
+				continue
+			}
+		case ir.OpBrFNe:
+			if F[in.A] != F[in.B] {
+				pc = int(in.C)
+				continue
+			}
+		case ir.OpBrFNLt:
+			if !(F[in.A] < F[in.B]) {
+				pc = int(in.C)
+				continue
+			}
+		case ir.OpBrFNLe:
+			if !(F[in.A] <= F[in.B]) {
+				pc = int(in.C)
+				continue
+			}
+		case ir.OpBrILt:
+			if I[in.A] < I[in.B] {
+				pc = int(in.C)
+				continue
+			}
+		case ir.OpBrILe:
+			if I[in.A] <= I[in.B] {
+				pc = int(in.C)
+				continue
+			}
+		case ir.OpBrIEq:
+			if I[in.A] == I[in.B] {
+				pc = int(in.C)
+				continue
+			}
+		case ir.OpBrINe:
+			if I[in.A] != I[in.B] {
+				pc = int(in.C)
+				continue
+			}
+
+		case ir.OpFMov:
+			F[in.A] = F[in.B]
+		case ir.OpIMov:
+			I[in.A] = I[in.B]
+		case ir.OpCMov:
+			C[in.A] = C[in.B]
+		case ir.OpVMov:
+			V[in.A] = V[in.B]
+		case ir.OpVMovSwap:
+			V[in.A], V[in.B] = V[in.B], V[in.A]
+		case ir.OpVClone:
+			if V[in.B] == nil {
+				V[in.A] = mat.Empty()
+			} else {
+				V[in.A] = V[in.B].Clone()
+			}
+		case ir.OpFConst:
+			F[in.A] = in.Imm
+		case ir.OpIConst:
+			I[in.A] = int64(in.Imm)
+		case ir.OpCConst:
+			C[in.A] = p.CPool[in.B]
+
+		case ir.OpItoF:
+			F[in.A] = float64(I[in.B])
+		case ir.OpFtoI:
+			I[in.A] = int64(F[in.B])
+		case ir.OpFtoC:
+			C[in.A] = complex(F[in.B], 0)
+		case ir.OpItoC:
+			C[in.A] = complex(float64(I[in.B]), 0)
+		case ir.OpBoxF:
+			V[in.A] = mat.Scalar(F[in.B])
+		case ir.OpBoxI:
+			V[in.A] = mat.IntScalar(float64(I[in.B]))
+		case ir.OpBoxC:
+			V[in.A] = mat.ComplexScalar(C[in.B]).Demote()
+		case ir.OpUnboxF:
+			x, e := unboxF(V[in.B])
+			if e != nil {
+				err = e
+				goto fail
+			}
+			F[in.A] = x
+		case ir.OpUnboxI:
+			x, e := unboxF(V[in.B])
+			if e != nil {
+				err = e
+				goto fail
+			}
+			if x != math.Trunc(x) {
+				err = fmt.Errorf("expected an integer value, got %g", x)
+				goto fail
+			}
+			I[in.A] = int64(x)
+		case ir.OpUnboxC:
+			v := V[in.B]
+			if v == nil || !v.IsScalar() {
+				err = fmt.Errorf("expected a scalar")
+				goto fail
+			}
+			C[in.A] = v.ComplexAt(0)
+
+		case ir.OpFAdd:
+			F[in.A] = F[in.B] + F[in.C]
+		case ir.OpFSub:
+			F[in.A] = F[in.B] - F[in.C]
+		case ir.OpFMul:
+			F[in.A] = F[in.B] * F[in.C]
+		case ir.OpFDiv:
+			F[in.A] = F[in.B] / F[in.C]
+		case ir.OpFNeg:
+			F[in.A] = -F[in.B]
+		case ir.OpFPow:
+			F[in.A] = math.Pow(F[in.B], F[in.C])
+		case ir.OpFMod:
+			F[in.A] = builtins.Mod(F[in.B], F[in.C])
+		case ir.OpFRem:
+			F[in.A] = builtins.Rem(F[in.B], F[in.C])
+		case ir.OpFMath:
+			F[in.A] = c.mathFns[in.C](F[in.B])
+		case ir.OpFAnd:
+			F[in.A] = b2f(F[in.B] != 0 && F[in.C] != 0)
+		case ir.OpFOr:
+			F[in.A] = b2f(F[in.B] != 0 || F[in.C] != 0)
+		case ir.OpFNot:
+			F[in.A] = b2f(F[in.B] == 0)
+
+		case ir.OpFCmpEq:
+			F[in.A] = b2f(F[in.B] == F[in.C])
+		case ir.OpFCmpNe:
+			F[in.A] = b2f(F[in.B] != F[in.C])
+		case ir.OpFCmpLt:
+			F[in.A] = b2f(F[in.B] < F[in.C])
+		case ir.OpFCmpLe:
+			F[in.A] = b2f(F[in.B] <= F[in.C])
+
+		case ir.OpIAdd:
+			I[in.A] = I[in.B] + I[in.C]
+		case ir.OpISub:
+			I[in.A] = I[in.B] - I[in.C]
+		case ir.OpIMul:
+			I[in.A] = I[in.B] * I[in.C]
+		case ir.OpINeg:
+			I[in.A] = -I[in.B]
+		case ir.OpIMod:
+			I[in.A] = imod(I[in.B], I[in.C])
+		case ir.OpICmpEq:
+			F[in.A] = b2f(I[in.B] == I[in.C])
+		case ir.OpICmpNe:
+			F[in.A] = b2f(I[in.B] != I[in.C])
+		case ir.OpICmpLt:
+			F[in.A] = b2f(I[in.B] < I[in.C])
+		case ir.OpICmpLe:
+			F[in.A] = b2f(I[in.B] <= I[in.C])
+
+		case ir.OpCAdd:
+			C[in.A] = C[in.B] + C[in.C]
+		case ir.OpCSub:
+			C[in.A] = C[in.B] - C[in.C]
+		case ir.OpCMul:
+			C[in.A] = C[in.B] * C[in.C]
+		case ir.OpCDiv:
+			C[in.A] = C[in.B] / C[in.C]
+		case ir.OpCNeg:
+			C[in.A] = -C[in.B]
+		case ir.OpCPow:
+			C[in.A] = cmplx.Pow(C[in.B], C[in.C])
+		case ir.OpCAbs:
+			F[in.A] = cmplx.Abs(C[in.B])
+		case ir.OpCMath:
+			f := c.cmathFns[in.C]
+			if f == nil {
+				err = fmt.Errorf("complex math function not supported")
+				goto fail
+			}
+			C[in.A] = f(C[in.B])
+		case ir.OpCCmpEq:
+			F[in.A] = b2f(C[in.B] == C[in.C])
+		case ir.OpCCmpNe:
+			F[in.A] = b2f(C[in.B] != C[in.C])
+		case ir.OpCReal:
+			F[in.A] = real(C[in.B])
+		case ir.OpCImag:
+			F[in.A] = imag(C[in.B])
+		case ir.OpCConj:
+			C[in.A] = cmplx.Conj(C[in.B])
+
+		case ir.OpFLd1:
+			x, e := V[in.B].CheckedGet1(F[in.C])
+			if e != nil {
+				err = e
+				goto fail
+			}
+			F[in.A] = x
+		case ir.OpFLd1U:
+			F[in.A] = V[in.B].FastGet1(int(I[in.C]) - 1)
+		case ir.OpFLd2:
+			x, e := V[in.B].CheckedGet2(F[in.C], F[in.D])
+			if e != nil {
+				err = e
+				goto fail
+			}
+			F[in.A] = x
+		case ir.OpFLd2U:
+			F[in.A] = V[in.B].FastGet2(int(I[in.C])-1, int(I[in.D])-1)
+		case ir.OpFSt1:
+			if e := V[in.A].CheckedSet1(F[in.B], F[in.C]); e != nil {
+				err = e
+				goto fail
+			}
+		case ir.OpFSt1U:
+			V[in.A].FastSet1(int(I[in.B])-1, F[in.C])
+		case ir.OpFSt2:
+			if e := V[in.A].CheckedSet2(F[in.B], F[in.C], F[in.D]); e != nil {
+				err = e
+				goto fail
+			}
+		case ir.OpFSt2U:
+			V[in.A].FastSet2(int(I[in.B])-1, int(I[in.C])-1, F[in.D])
+
+		case ir.OpVNewZeros:
+			v := mat.New(int(I[in.B]), int(I[in.C]))
+			if in.Imm != 0 {
+				re := v.Re()
+				for i := range re {
+					re[i] = in.Imm
+				}
+			}
+			V[in.A] = v
+		case ir.OpVEnsure:
+			v := V[in.A]
+			r, cc := int(I[in.B]), int(I[in.C])
+			if v == nil || v.IsShared() || v.Rows() != r || v.Cols() != cc || v.Kind() != mat.Real {
+				V[in.A] = mat.New(r, cc)
+			}
+		case ir.OpVEnsureOwn:
+			v := V[in.A]
+			if v == nil {
+				V[in.A] = mat.Empty()
+			} else if v.IsShared() {
+				V[in.A] = v.Clone()
+			}
+		case ir.OpVRows:
+			I[in.A] = int64(vOrEmpty(V[in.B]).Rows())
+		case ir.OpVCols:
+			I[in.A] = int64(vOrEmpty(V[in.B]).Cols())
+		case ir.OpVNumel:
+			I[in.A] = int64(vOrEmpty(V[in.B]).Numel())
+		case ir.OpVMarkShared:
+			if V[in.A] != nil {
+				V[in.A].MarkShared()
+			}
+		case ir.OpVConst:
+			V[in.A] = c.vpool[in.B]
+
+		case ir.OpGBin:
+			v, e := builtins.EvalBinOp(ast.BinOp(in.D), vOrErr(V[in.B], &err), vOrErr(V[in.C], &err))
+			if err != nil {
+				goto fail
+			}
+			if e != nil {
+				err = e
+				goto fail
+			}
+			V[in.A] = v
+		case ir.OpGUn:
+			v, e := evalUnOp(in.D, vOrErr(V[in.B], &err))
+			if err != nil {
+				goto fail
+			}
+			if e != nil {
+				err = e
+				goto fail
+			}
+			V[in.A] = v
+		case ir.OpGIndex:
+			v, e := genericIndex(vOrErr(V[in.B], &err), p.Aux, int(in.C), V)
+			if err != nil {
+				goto fail
+			}
+			if e != nil {
+				err = e
+				goto fail
+			}
+			V[in.A] = v
+		case ir.OpGAssign:
+			base := V[in.A]
+			if base == nil {
+				base = mat.Empty()
+			} else if base.IsShared() {
+				base = base.Clone()
+			}
+			if e := genericAssign(base, p.Aux, int(in.C), V, vOrErr(V[in.D], &err)); e != nil {
+				err = e
+				goto fail
+			}
+			if err != nil {
+				goto fail
+			}
+			V[in.A] = base
+		case ir.OpGColon:
+			v, e := mat.Colon(vOrErr(V[in.B], &err), vOrErr(V[in.C], &err), vOrErr(V[in.D], &err))
+			if err != nil {
+				goto fail
+			}
+			if e != nil {
+				err = e
+				goto fail
+			}
+			V[in.A] = v
+		case ir.OpGCat:
+			v, e := genericCat(p.Aux, int(in.B), V)
+			if e != nil {
+				err = e
+				goto fail
+			}
+			V[in.A] = v
+		case ir.OpGBuiltin:
+			if e := genericBuiltin(c, ctx, p.Aux, int(in.A), V); e != nil {
+				err = e
+				goto fail
+			}
+		case ir.OpCallUser:
+			if e := userCall(p, host, p.Aux, int(in.A), V); e != nil {
+				err = e
+				goto fail
+			}
+		case ir.OpGEMV:
+			if e := gemv(p.Aux, int(in.B), in.Imm, int(in.A), V); e != nil {
+				err = e
+				goto fail
+			}
+
+		case ir.OpFLdSlot:
+			F[in.A] = SF[in.B]
+		case ir.OpFStSlot:
+			SF[in.A] = F[in.B]
+		case ir.OpILdSlot:
+			I[in.A] = SI[in.B]
+		case ir.OpIStSlot:
+			SI[in.A] = I[in.B]
+		case ir.OpCLdSlot:
+			C[in.A] = SC[in.B]
+		case ir.OpCStSlot:
+			SC[in.A] = C[in.B]
+		case ir.OpVLdSlot:
+			V[in.A] = SV[in.B]
+		case ir.OpVStSlot:
+			SV[in.A] = V[in.B]
+
+		default:
+			err = fmt.Errorf("unimplemented opcode %v", in.Op)
+			goto fail
+		}
+		pc++
+		continue
+	fail:
+		return nil, &Error{Fn: p.Name, PC: pc, Err: err}
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func imod(x, y int64) int64 {
+	if y == 0 {
+		return x
+	}
+	r := x % y
+	if r != 0 && (r < 0) != (y < 0) {
+		r += y
+	}
+	return r
+}
+
+func vOrEmpty(v *mat.Value) *mat.Value {
+	if v == nil {
+		return mat.Empty()
+	}
+	return v
+}
+
+func vOrErr(v *mat.Value, err *error) *mat.Value {
+	if v == nil && *err == nil {
+		*err = fmt.Errorf("use of undefined value")
+	}
+	return v
+}
+
+func unboxF(v *mat.Value) (float64, error) {
+	if v == nil {
+		return 0, fmt.Errorf("use of undefined value")
+	}
+	if !v.IsScalar() {
+		return 0, fmt.Errorf("expected a scalar, got %dx%d", v.Rows(), v.Cols())
+	}
+	if v.Kind() == mat.Complex && v.Im()[0] != 0 {
+		return 0, fmt.Errorf("expected a real value")
+	}
+	return v.Re()[0], nil
+}

@@ -1,0 +1,4 @@
+// Package main anchors root-level benchmark and test files.
+package main
+
+func main() {}

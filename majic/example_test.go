@@ -1,0 +1,89 @@
+package majic_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/majic"
+)
+
+// The paper's running example: the poly function compiled for an
+// integer scalar signature returns 254 for x = 3 (Figure 3, sig0).
+func Example() {
+	eng := majic.New(majic.Options{Tier: majic.TierJIT})
+	err := eng.Define(`
+function p = poly(x)
+  p = x^5 + 3*x + 2;
+end`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := eng.Call("poly", []*majic.Value{majic.Scalar(3)}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out[0])
+	// Output: 254
+}
+
+// EvalString runs interactive statements in the workspace with MATLAB
+// semantics; function calls route through the code repository.
+func ExampleEngine_EvalString() {
+	eng := majic.New(majic.Options{Tier: majic.TierJIT})
+	if err := eng.EvalString("x = 1:10; s = sum(x .* x);"); err != nil {
+		log.Fatal(err)
+	}
+	v, _ := eng.Workspace("s")
+	fmt.Println(v)
+	// Output: 385
+}
+
+// Speculative mode compiles ahead of time; the first call finds
+// optimized code already waiting in the repository.
+func ExampleEngine_Precompile() {
+	eng := majic.New(majic.Options{Tier: majic.TierSpec})
+	err := eng.Define(`
+function s = tri(n)
+  s = 0;
+  for i = 1:n
+    s = s + i;
+  end
+end`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng.Precompile()
+	out, err := eng.Call("tri", []*majic.Value{majic.Scalar(100)}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out[0], eng.Repo().Stats().SpecHits > 0)
+	// Output: 5050 true
+}
+
+// Matrices cross the Go/MATLAB boundary as *majic.Value.
+func ExampleMatrix() {
+	eng := majic.New(majic.Options{Tier: majic.TierFalcon})
+	err := eng.Define(`
+function t = tr(A)
+  n = size(A, 1);
+  t = 0;
+  for i = 1:n
+    t = t + A(i,i);
+  end
+end`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	A := majic.Matrix(3, 3, []float64{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	})
+	out, err := eng.Call("tr", []*majic.Value{A}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out[0])
+	// Output: 15
+}

@@ -1,0 +1,114 @@
+package majic_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/majic"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	eng := majic.New(majic.Options{Tier: majic.TierJIT})
+	err := eng.Define(`
+function p = poly(x)
+  p = x^5 + 3*x + 2;
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Call("poly", []*majic.Value{majic.Scalar(3)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// the paper's Figure 3: poly1 sig0 returns 254
+	if got := out[0].MustScalar(); got != 254 {
+		t.Fatalf("poly(3) = %g, want 254", got)
+	}
+}
+
+func TestPublicAPIWorkspace(t *testing.T) {
+	eng := majic.New(majic.Options{Tier: majic.TierInterp})
+	if err := eng.EvalString("x = 1:10; s = sum(x);"); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := eng.Workspace("s")
+	if !ok || v.MustScalar() != 55 {
+		t.Fatalf("s = %v", v)
+	}
+	eng.SetWorkspace("y", majic.Matrix(2, 2, []float64{1, 2, 3, 4}))
+	if err := eng.EvalString("d = y(2,2) - y(1,1);"); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := eng.Workspace("d")
+	if d.MustScalar() != 3 {
+		t.Fatalf("d = %v", d)
+	}
+}
+
+func TestPublicAPIConstructors(t *testing.T) {
+	if majic.Scalar(2.5).MustScalar() != 2.5 {
+		t.Error("Scalar")
+	}
+	if majic.Complex(1+2i).ComplexAt(0) != 1+2i {
+		t.Error("Complex")
+	}
+	if majic.String("hi").Text() != "hi" {
+		t.Error("String")
+	}
+	z := majic.Zeros(3, 4)
+	if z.Rows() != 3 || z.Cols() != 4 {
+		t.Error("Zeros")
+	}
+	m := majic.Matrix(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(1, 2) != 6 {
+		t.Error("Matrix is row-major input")
+	}
+}
+
+func TestPublicAPITiersAndBenchmarks(t *testing.T) {
+	if len(majic.Benchmarks()) != 16 {
+		t.Errorf("benchmark suite has %d entries", len(majic.Benchmarks()))
+	}
+	names := []string{}
+	for _, tier := range []majic.Tier{majic.TierInterp, majic.TierMCC, majic.TierFalcon, majic.TierJIT, majic.TierSpec} {
+		names = append(names, tier.String())
+	}
+	if got := strings.Join(names, ","); got != "interp,mcc,falcon,jit,spec" {
+		t.Errorf("tier names: %s", got)
+	}
+}
+
+func TestPublicAPISpeculativeFlow(t *testing.T) {
+	eng := majic.New(majic.Options{Tier: majic.TierSpec})
+	err := eng.Define(`
+function s = tri(n)
+  s = 0;
+  for i = 1:n
+    s = s + i;
+  end
+end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Precompile()
+	// speculative entry must exist before the first call
+	found := false
+	for _, e := range eng.Repo().Entries("tri") {
+		if e.Speculative {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Precompile produced no speculative entry")
+	}
+	out, err := eng.Call("tri", []*majic.Value{majic.Scalar(100)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].MustScalar() != 5050 {
+		t.Fatalf("tri(100) = %v", out[0])
+	}
+	if eng.Repo().Stats().SpecHits == 0 {
+		t.Error("call did not hit the speculative entry")
+	}
+}
