@@ -4,8 +4,13 @@
 //	majic-bench -exp=table1 -size=medium
 //	majic-bench -exp=fig4 -reps=5
 //	majic-bench -exp=all -size=paper -bench=dirich,finedif
+//	majic-bench -exp=concurrent -clients=8 -async -workers=4
 //
-// Experiments: table1, fig4, fig5, fig6, fig7, table2, all.
+// Experiments: table1, fig4, fig5, fig6, fig7, table2, sec5, resp,
+// concurrent, all. The concurrent experiment is not part of "all": it
+// measures the asynchronous compilation service (first-call latency
+// and steady-state throughput for M goroutines sharing one engine
+// repository), not a figure from the paper.
 package main
 
 import (
@@ -19,11 +24,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|table2|sec5|resp|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|table2|sec5|resp|concurrent|all")
 	size := flag.String("size", "medium", "problem size preset: small|medium|paper")
 	reps := flag.Int("reps", 3, "best-of repetitions (paper used 10)")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default all)")
 	seed := flag.Uint64("seed", 0, "RNG seed (0 = default)")
+	clients := flag.Int("clients", 8, "concurrent experiment: client goroutines sharing one engine")
+	async := flag.Bool("async", false, "concurrent experiment: enable the async compilation service")
+	workers := flag.Int("workers", 0, "concurrent experiment: async compile workers (0 = GOMAXPROCS)")
+	calls := flag.Int("calls", 20, "concurrent experiment: steady-state calls per client")
 	flag.Parse()
 
 	sz, err := bench.ParseSize(*size)
@@ -71,6 +80,17 @@ func main() {
 		run("sec5", cfg.Sec5)
 	case "resp":
 		run("resp", cfg.Responsiveness)
+	case "concurrent":
+		ccfg := bench.ConcurrentConfig{
+			Size:           sz,
+			Clients:        *clients,
+			Async:          *async,
+			Workers:        *workers,
+			CallsPerClient: *calls,
+			Benchmarks:     cfg.Benchmarks,
+			Out:            os.Stdout,
+		}
+		run("concurrent", ccfg.Report)
 	case "all":
 		run("table1", cfg.Table1)
 		run("fig4", cfg.Fig4)

@@ -6,6 +6,11 @@
 //	majic                      # interactive session, JIT tier
 //	majic -tier=spec f.m g.m   # load files, speculative precompilation
 //	majic -e 'x = fib(20)' f.m # one-shot evaluation
+//	majic -async -workers=4    # background compilation service:
+//	                           # compiles run on a bounded worker pool
+//	                           # off the REPL thread (single-flight
+//	                           # deduplicated), so -tier=spec sessions
+//	                           # never stall on speculative compiles
 package main
 
 import (
@@ -23,6 +28,8 @@ func main() {
 	platFlag := flag.String("platform", "sparc", "platform profile: sparc|mips")
 	eval := flag.String("e", "", "evaluate this code and exit")
 	seed := flag.Uint64("seed", 0, "RNG seed")
+	async := flag.Bool("async", false, "compile in the background on a worker pool (asynchronous repository)")
+	workers := flag.Int("workers", 0, "async compile workers (0 = GOMAXPROCS; implies nothing unless -async)")
 	flag.Parse()
 
 	tier, err := parseTier(*tierFlag)
@@ -35,7 +42,11 @@ func main() {
 		platform = core.PlatformMIPS
 	}
 
-	e := core.New(core.Options{Tier: tier, Platform: platform, Out: os.Stdout, Seed: *seed})
+	e := core.New(core.Options{
+		Tier: tier, Platform: platform, Out: os.Stdout, Seed: *seed,
+		AsyncCompile: *async, CompileWorkers: *workers,
+	})
+	defer e.Close()
 
 	// Load .m files given on the command line into the repository.
 	for _, path := range flag.Args() {

@@ -70,6 +70,6 @@ func main() {
 	// Inspect the code repository.
 	for _, entry := range eng.Repo().Entries("polyval5") {
 		fmt.Printf("repository: polyval5 %s quality=%s hits=%d\n",
-			entry.Sig, entry.Quality, entry.Hits)
+			entry.Sig, entry.Quality, entry.Hits())
 	}
 }

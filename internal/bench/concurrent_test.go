@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestConcurrentClientsAsync drives 8 concurrent clients through one
+// shared async engine for every ConcurrentSet workload (run with -race:
+// this exercises the full compiled-code path concurrently).
+func TestConcurrentClientsAsync(t *testing.T) {
+	cfg := ConcurrentConfig{
+		Size:           Small,
+		Clients:        8,
+		Async:          true,
+		Workers:        4,
+		CallsPerClient: 3,
+		Out:            io.Discard,
+	}
+	rows, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ConcurrentSet) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(ConcurrentSet))
+	}
+	for _, r := range rows {
+		if r.TotalCalls != 8*3 {
+			t.Errorf("%s: %d steady calls, want 24", r.Bench, r.TotalCalls)
+		}
+		if r.Throughput <= 0 {
+			t.Errorf("%s: throughput %f", r.Bench, r.Throughput)
+		}
+		// Single-flight: concurrent cold misses on one signature must
+		// not insert more than one entry per compiled signature. The
+		// recursive/multi-function benchmarks compile several
+		// signatures (callees, widening), but never one per client.
+		if r.Inserts >= cfg.Clients {
+			t.Errorf("%s: %d inserts for %d clients — single-flight failed", r.Bench, r.Inserts, cfg.Clients)
+		}
+	}
+}
+
+// TestConcurrentClientsSync: the sync engine must also survive
+// concurrent clients (compiles inline, repository still shared).
+func TestConcurrentClientsSync(t *testing.T) {
+	cfg := ConcurrentConfig{
+		Size:           Small,
+		Clients:        4,
+		CallsPerClient: 2,
+		Benchmarks:     []string{"fibonacci", "cgopt"},
+		Out:            io.Discard,
+	}
+	rows, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.CompileJobs != 0 || r.Deduped != 0 {
+			t.Errorf("%s: sync mode used the queue: %+v", r.Bench, r)
+		}
+	}
+}
+
+// TestConcurrentReport smoke-tests the table writer.
+func TestConcurrentReport(t *testing.T) {
+	var sb strings.Builder
+	cfg := ConcurrentConfig{
+		Size:           Small,
+		Clients:        2,
+		Async:          true,
+		CallsPerClient: 1,
+		Benchmarks:     []string{"fibonacci"},
+		Out:            &sb,
+	}
+	if err := cfg.Report(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Concurrent clients", "fibonacci", "first(min)", "calls/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// BenchmarkConcurrentClients is the CI bench-smoke anchor for the
+// concurrent path: one async engine, 8 clients, fibonacci.
+func BenchmarkConcurrentClients(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := ConcurrentConfig{
+			Size:           Small,
+			Clients:        8,
+			Async:          true,
+			CallsPerClient: 2,
+			Benchmarks:     []string{"fibonacci"},
+			Out:            io.Discard,
+		}
+		if _, err := cfg.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

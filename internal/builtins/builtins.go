@@ -7,6 +7,7 @@ package builtins
 import (
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/mat"
 )
@@ -78,8 +79,12 @@ func Call(ctx *Context, b *Builtin, args []*mat.Value, nout int) ([]*mat.Value, 
 
 // RNG is the engine's deterministic pseudo-random generator
 // (xorshift64*), shared by rand and randn so that interpreter and
-// compiled runs of the same program observe identical streams.
+// compiled runs of the same program observe identical streams. A mutex
+// makes the stream safe to draw from concurrent callers (the async
+// compilation service allows concurrent Call on one engine); the
+// single-threaded sequence is unchanged.
 type RNG struct {
+	mu    sync.Mutex
 	state uint64
 	// cached second normal deviate for Box-Muller
 	haveGauss bool
@@ -99,12 +104,14 @@ func (r *RNG) Seed(seed uint64) {
 	if seed == 0 {
 		seed = 1
 	}
+	r.mu.Lock()
 	r.state = seed
 	r.haveGauss = false
+	r.mu.Unlock()
 }
 
-// Uint64 advances the xorshift64* state.
-func (r *RNG) Uint64() uint64 {
+// uint64Locked advances the xorshift64* state; r.mu must be held.
+func (r *RNG) uint64Locked() uint64 {
 	x := r.state
 	x ^= x >> 12
 	x ^= x << 25
@@ -113,21 +120,36 @@ func (r *RNG) Uint64() uint64 {
 	return x * 0x2545F4914F6CDD1D
 }
 
+func (r *RNG) float64Locked() float64 {
+	return float64(r.uint64Locked()>>11) / (1 << 53)
+}
+
+// Uint64 advances the xorshift64* state.
+func (r *RNG) Uint64() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.uint64Locked()
+}
+
 // Float64 returns a uniform deviate in [0,1).
 func (r *RNG) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.float64Locked()
 }
 
 // Normal returns a standard normal deviate (Box-Muller).
 func (r *RNG) Normal() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.haveGauss {
 		r.haveGauss = false
 		return r.gauss
 	}
 	var u, v, s float64
 	for {
-		u = 2*r.Float64() - 1
-		v = 2*r.Float64() - 1
+		u = 2*r.float64Locked() - 1
+		v = 2*r.float64Locked() - 1
 		s = u*u + v*v
 		if s > 0 && s < 1 {
 			break

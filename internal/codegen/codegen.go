@@ -94,6 +94,14 @@ type VConst struct {
 
 // Compile lowers a function to IR. The result has virtual register
 // numbers; run regalloc.Allocate before execution.
+//
+// Concurrency audit (async compilation service): Compile only reads
+// its inputs and builds a fresh *ir.Prog; it keeps no package-level
+// mutable state (the type-rule database and builtin registry are
+// immutable after init). Concurrent compilations of the same function
+// from worker-pool goroutines are therefore safe as long as each call
+// gets its own inference Result and disambiguation Table, which the
+// engine's pipeline guarantees (both are built per compile).
 func Compile(fn *ast.Function, res *infer.Result, tbl *disambig.Table, cfg Config) (prog *ir.Prog, err error) {
 	defer func() {
 		if r := recover(); r != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ast"
@@ -45,7 +46,7 @@ func (e *Engine) compile(fn *ast.Function, sig types.Signature, po pipelineOpts)
 	tbl := disambig.Analyze(g, work.Ins, disambig.ResolverFunc(func(name string) bool {
 		return e.funcs[name] != nil
 	}))
-	e.timing.Disambig += time.Since(t0).Nanoseconds()
+	atomic.AddInt64(&e.timing.Disambig, time.Since(t0).Nanoseconds())
 	if tbl.HasAmbiguous {
 		return nil, &codegen.ErrUnsupported{Reason: "ambiguous or undefined symbols"}
 	}
@@ -57,14 +58,14 @@ func (e *Engine) compile(fn *ast.Function, sig types.Signature, po pipelineOpts)
 		params[p] = sig[i]
 	}
 	res := infer.Forward(g, params, e.inferOptsFor(po))
-	e.timing.TypeInf += time.Since(t1).Nanoseconds()
+	atomic.AddInt64(&e.timing.TypeInf, time.Since(t1).Nanoseconds())
 
 	// Pass 4: code generation (+ backend optimization + regalloc).
 	t2 := time.Now()
 	ccfg := e.codegenConfig(po)
 	prog, err := codegen.Compile(work, res, tbl, ccfg)
 	if err != nil {
-		e.timing.Codegen += time.Since(t2).Nanoseconds()
+		atomic.AddInt64(&e.timing.Codegen, time.Since(t2).Nanoseconds())
 		return nil, err
 	}
 	if po.optimize {
@@ -74,7 +75,7 @@ func (e *Engine) compile(fn *ast.Function, sig types.Signature, po pipelineOpts)
 	ra.SpillAll = e.opts.SpillAll
 	regalloc.Allocate(prog, ra)
 	code, err := vm.Prepare(prog)
-	e.timing.Codegen += time.Since(t2).Nanoseconds()
+	atomic.AddInt64(&e.timing.Codegen, time.Since(t2).Nanoseconds())
 	if err != nil {
 		return nil, err
 	}

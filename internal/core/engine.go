@@ -8,10 +8,14 @@ package core
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/builtins"
+	"repro/internal/compilequeue"
 	"repro/internal/interp"
 	"repro/internal/mat"
 	"repro/internal/parser"
@@ -107,19 +111,40 @@ type Options struct {
 	// backend and the better version takes over. 0 disables upgrades
 	// (the default, so the harness's JIT measurements stay pure).
 	RecompileThreshold int
+
+	// AsyncCompile turns the repository into a background compilation
+	// service (the paper's front end "defers function calls" while the
+	// repository compiles "behind the scenes"): speculative jobs and
+	// miss-triggered compiles run on a bounded worker pool instead of
+	// the caller's goroutine, with single-flight deduplication so N
+	// concurrent misses on one (function, widened signature) key
+	// trigger exactly one compile. Off by default: the synchronous
+	// inline-compile path is unchanged, so the paper reproductions and
+	// single-threaded measurements are unaffected.
+	AsyncCompile bool
+	// CompileWorkers bounds the async pool's concurrently executing
+	// compile jobs. 0 means GOMAXPROCS. Ignored unless AsyncCompile.
+	CompileWorkers int
 }
 
 // Engine is the public entry point: a MATLAB workspace plus the code
 // repository and compilation machinery behind it.
 type Engine struct {
-	ctx       *builtins.Context
-	opts      Options
+	ctx  *builtins.Context
+	opts Options
+	// fmu guards funcs: with AsyncCompile, compile jobs resolve
+	// functions from worker goroutines while the front end registers
+	// redefinitions.
+	fmu       sync.RWMutex
 	funcs     map[string]*ast.Function
 	globals   map[string]*mat.Value
 	workspace *interp.Env
 	in        *interp.Interp
 	repo      *repoState
-	// phase timing for Figure 6
+	// queue is the async compilation pool (nil in synchronous mode).
+	queue *compilequeue.Pool
+	// phase timing for Figure 6; accumulated with atomics because async
+	// mode compiles on worker goroutines.
 	timing PhaseTimes
 }
 
@@ -141,7 +166,40 @@ func New(opts Options) *Engine {
 	e.workspace = interp.NewEnv(e.globals)
 	e.in = interp.New(e)
 	e.repo = newRepoState(e)
+	if opts.AsyncCompile {
+		workers := opts.CompileWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		e.queue = compilequeue.New(workers)
+	}
 	return e
+}
+
+// Close shuts down the engine's background compilation pool (a no-op
+// in synchronous mode). Queued jobs finish first; calls made after
+// Close compile inline, so the engine stays usable.
+func (e *Engine) Close() {
+	if e.queue != nil {
+		e.queue.Close()
+	}
+}
+
+// Drain blocks until all in-flight background compile jobs have
+// published (or been dropped as stale). A no-op in synchronous mode.
+// Benchmarks use it to separate first-call latency from steady state.
+func (e *Engine) Drain() {
+	if e.queue != nil {
+		e.queue.Drain()
+	}
+}
+
+// QueueStats returns the async pool's counters (zero in sync mode).
+func (e *Engine) QueueStats() compilequeue.Stats {
+	if e.queue == nil {
+		return compilequeue.Stats{}
+	}
+	return e.queue.Stats()
 }
 
 // Options returns the engine's configuration.
@@ -150,11 +208,18 @@ func (e *Engine) Options() Options { return e.opts }
 // Context implements interp.Host.
 func (e *Engine) Context() *builtins.Context { return e.ctx }
 
-// LookupFunction implements interp.Host.
-func (e *Engine) LookupFunction(name string) *ast.Function { return e.funcs[name] }
+// LookupFunction implements interp.Host. It is safe to call from any
+// goroutine (compile jobs resolve functions from the worker pool).
+func (e *Engine) LookupFunction(name string) *ast.Function {
+	e.fmu.RLock()
+	defer e.fmu.RUnlock()
+	return e.funcs[name]
+}
 
 // Functions returns the names of all registered user functions.
 func (e *Engine) Functions() []string {
+	e.fmu.RLock()
+	defer e.fmu.RUnlock()
 	out := make([]string, 0, len(e.funcs))
 	for n := range e.funcs {
 		out = append(out, n)
@@ -180,7 +245,12 @@ func (e *Engine) Define(src string) error {
 }
 
 func (e *Engine) registerFunction(fn *ast.Function) {
+	// Publish the new body before advancing the repository generation:
+	// an async job that observes the new generation is then guaranteed
+	// to resolve the new body (see invokeAsync's ordering note).
+	e.fmu.Lock()
 	e.funcs[fn.Name] = fn
+	e.fmu.Unlock()
 	e.repo.invalidate(fn.Name)
 }
 
@@ -192,7 +262,13 @@ func (e *Engine) Precompile() {
 	if e.opts.Tier != TierSpec {
 		return
 	}
+	e.fmu.RLock()
+	fns := make([]*ast.Function, 0, len(e.funcs))
 	for _, fn := range e.funcs {
+		fns = append(fns, fn)
+	}
+	e.fmu.RUnlock()
+	for _, fn := range fns {
 		has := false
 		for _, entry := range e.repo.r.Entries(fn.Name) {
 			if entry.Speculative {
@@ -249,8 +325,15 @@ func (e *Engine) Call(name string, args []*mat.Value, nout int) ([]*mat.Value, e
 
 // CallFunction implements interp.Host: route a function call through
 // the configured tier.
+//
+// Concurrency: with AsyncCompile enabled, CallFunction (and Call) may
+// be used from multiple goroutines against one shared engine — the
+// repository, compile pool, and compiled code are concurrency-safe.
+// Functions that touch `global` variables remain single-client-only,
+// as do EvalString and the workspace accessors (one MATLAB workspace,
+// like one MATLAB session).
 func (e *Engine) CallFunction(name string, args []*mat.Value, nout int) ([]*mat.Value, error) {
-	fn := e.funcs[name]
+	fn := e.LookupFunction(name)
 	if fn == nil {
 		return nil, fmt.Errorf("undefined function %q", name)
 	}
@@ -266,7 +349,7 @@ func (e *Engine) CallFunction(name string, args []*mat.Value, nout int) ([]*mat.
 // Interpret runs the function through the interpreter regardless of
 // tier (used by differential tests and the harness baseline).
 func (e *Engine) Interpret(name string, args []*mat.Value, nout int) ([]*mat.Value, error) {
-	fn := e.funcs[name]
+	fn := e.LookupFunction(name)
 	if fn == nil {
 		return nil, fmt.Errorf("undefined function %q", name)
 	}
@@ -283,8 +366,21 @@ type PhaseTimes struct {
 	Exec     int64
 }
 
-// Timing returns the accumulated phase times.
-func (e *Engine) Timing() PhaseTimes { return e.timing }
+// Timing returns the accumulated phase times (atomic snapshot: async
+// compile jobs accumulate from worker goroutines).
+func (e *Engine) Timing() PhaseTimes {
+	return PhaseTimes{
+		Disambig: atomic.LoadInt64(&e.timing.Disambig),
+		TypeInf:  atomic.LoadInt64(&e.timing.TypeInf),
+		Codegen:  atomic.LoadInt64(&e.timing.Codegen),
+		Exec:     atomic.LoadInt64(&e.timing.Exec),
+	}
+}
 
 // ResetTiming clears accumulated phase times.
-func (e *Engine) ResetTiming() { e.timing = PhaseTimes{} }
+func (e *Engine) ResetTiming() {
+	atomic.StoreInt64(&e.timing.Disambig, 0)
+	atomic.StoreInt64(&e.timing.TypeInf, 0)
+	atomic.StoreInt64(&e.timing.Codegen, 0)
+	atomic.StoreInt64(&e.timing.Exec, 0)
+}

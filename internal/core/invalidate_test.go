@@ -89,7 +89,7 @@ end`
 	if entries[0].Code != nil {
 		t.Error("fallback entry must not carry compiled code")
 	}
-	if entries[0].Hits < 2 {
-		t.Errorf("fallback entry not reused: hits=%d", entries[0].Hits)
+	if entries[0].Hits() < 2 {
+		t.Errorf("fallback entry not reused: hits=%d", entries[0].Hits())
 	}
 }

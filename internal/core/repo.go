@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ast"
@@ -17,12 +19,22 @@ import (
 // safe compiled code by type-signature matching, and a miss triggers
 // JIT compilation (or, in speculative mode, usually hits ahead-of-time
 // compiled code).
+//
+// With Options.AsyncCompile, misses do not compile on the caller's
+// goroutine: they enqueue a job on the engine's worker pool, keyed by
+// (function, widened signature, generation) so concurrent misses on the
+// same key coalesce into a single compile (single flight). The tier
+// decides what the caller does while the job runs — see invokeAsync.
 type repoState struct {
 	e *Engine
 	r *repo.Repository
 	// callDepth tracks nesting so execution time is only accumulated at
-	// the outermost invocation (Figure 6 decomposition).
-	callDepth int
+	// the outermost invocation (Figure 6 decomposition). It is atomic
+	// because async mode allows concurrent callers; under concurrency
+	// the "outermost" attribution becomes approximate (only the first
+	// in-flight call times itself), which keeps the counter meaningful
+	// without a per-goroutine side table.
+	callDepth int32
 }
 
 func newRepoState(e *Engine) *repoState {
@@ -37,8 +49,41 @@ func (r *repoState) invalidate(name string) {
 }
 
 // precompile performs the speculative ahead-of-time compilation the
-// repository does while "snooping the source code directories".
+// repository does while "snooping the source code directories". In
+// async mode the job runs on the worker pool — the paper's behind-the-
+// scenes story — and publishes its entry when it lands; the single-
+// flight key prevents duplicate speculative jobs for one source
+// generation.
 func (r *repoState) precompile(fn *ast.Function) {
+	if r.e.queue == nil {
+		r.precompileSync(fn)
+		return
+	}
+	name := fn.Name
+	gen := r.r.Generation(name)
+	key := fmt.Sprintf("spec\x00%s\x00%d", name, gen)
+	r.e.queue.Do(key, func() error {
+		fn := r.e.LookupFunction(name)
+		if fn == nil {
+			return nil
+		}
+		sig, err := r.e.speculate(fn)
+		if err != nil {
+			return nil // speculation failure is not an error; JIT covers it
+		}
+		if r.r.Covered(name, sig) {
+			return nil
+		}
+		code, err := r.e.compile(fn, sig, pipelineOpts{optimize: true})
+		if err != nil {
+			return nil
+		}
+		r.r.InsertAt(name, &repo.Entry{Sig: sig, Code: code, Quality: repo.QualityOpt, Speculative: true}, gen)
+		return nil
+	})
+}
+
+func (r *repoState) precompileSync(fn *ast.Function) {
 	sig, err := r.e.speculate(fn)
 	if err != nil {
 		return
@@ -79,6 +124,17 @@ func (r *repoState) invoke(fn *ast.Function, args []*mat.Value, nout int) ([]*ma
 		po = pipelineOpts{optimize: e.opts.JITBackendOpts}
 	}
 
+	if e.queue != nil {
+		return r.invokeAsync(fn, sig, csig, po, args, nout)
+	}
+	return r.invokeSync(fn, sig, csig, po, args, nout)
+}
+
+// invokeSync is the original inline-compile miss path: the default, so
+// single-threaded behaviour (and the paper's Figure 4/6 reproductions)
+// is unchanged when async mode is off.
+func (r *repoState) invokeSync(fn *ast.Function, sig, csig types.Signature, po pipelineOpts, args []*mat.Value, nout int) ([]*mat.Value, error) {
+	e := r.e
 	code, err := e.compile(fn, csig, po)
 	if err != nil {
 		if _, unsupported := err.(*codegen.ErrUnsupported); unsupported {
@@ -99,10 +155,84 @@ func (r *repoState) invoke(fn *ast.Function, args []*mat.Value, nout int) ([]*ma
 	return r.runEntry(entry, fn, args, nout)
 }
 
+// invokeAsync enqueues the miss's compile job and applies the per-tier
+// responsiveness policy:
+//
+//   - TierJIT (and the batch tiers mcc/falcon): block on the job. The
+//     first caller pays the compile latency exactly once; concurrent
+//     callers coalesce on the single-flight ticket, so N simultaneous
+//     misses cost one compile.
+//   - TierSpec: never block. The caller interprets this invocation (the
+//     paper's Figure 6 responsiveness story: speculative mode trades
+//     first-call speed for zero perceived compile pauses) and the
+//     compiled entry serves later calls once the job lands.
+func (r *repoState) invokeAsync(fn *ast.Function, sig, csig types.Signature, po pipelineOpts, args []*mat.Value, nout int) ([]*mat.Value, error) {
+	e := r.e
+	name := fn.Name
+	// Order matters: read the generation before re-resolving the
+	// function inside the job. If a redefinition lands in between, the
+	// job compiles the new body but publishes at the old generation and
+	// is dropped — conservative, never wrong.
+	gen := r.r.Generation(name)
+	key := fmt.Sprintf("jit\x00%s\x00%s\x00%d", name, csig.Key(), gen)
+	arity := len(sig)
+	ticket, _ := e.queue.Do(key, func() error {
+		return r.compileJob(name, csig, po, arity, gen)
+	})
+
+	if e.opts.Tier == TierSpec {
+		// Non-blocking fallback: interpret now, hit compiled code later.
+		// The fallback entry is transient — not inserted — so the
+		// repository keeps exactly one (compiled) entry per key.
+		return r.runEntry(&repo.Entry{Quality: repo.QualityInterp}, fn, args, nout)
+	}
+
+	if err := ticket.Wait(); err != nil {
+		return nil, err
+	}
+	if entry := r.r.Lookup(name, sig); entry != nil {
+		return r.runEntry(entry, fn, args, nout)
+	}
+	// The generation moved while the job was in flight (source
+	// redefined) and the publish was dropped. Interpret this call with
+	// the function the caller resolved; the next call recompiles fresh.
+	return r.runEntry(&repo.Entry{Quality: repo.QualityInterp}, fn, args, nout)
+}
+
+// compileJob is the worker-side body of a miss job. It re-resolves the
+// function by name (see the ordering note in invokeAsync), compiles,
+// and publishes through InsertAt so stale generations are dropped.
+func (r *repoState) compileJob(name string, csig types.Signature, po pipelineOpts, arity int, gen uint64) error {
+	e := r.e
+	fn := e.LookupFunction(name)
+	if fn == nil {
+		return nil // deleted while queued; nothing to publish
+	}
+	if r.r.Covered(name, csig) {
+		// An equivalent entry landed between the miss and this job
+		// (single-flight only spans a job's lifetime); don't duplicate.
+		return nil
+	}
+	code, err := e.compile(fn, csig, po)
+	if err != nil {
+		if _, unsupported := err.(*codegen.ErrUnsupported); unsupported {
+			r.r.InsertAt(name, &repo.Entry{Sig: topSignature(arity), Quality: repo.QualityInterp}, gen)
+			return nil
+		}
+		return err
+	}
+	quality := repo.QualityJIT
+	if po.optimize {
+		quality = repo.QualityOpt
+	}
+	r.r.InsertAt(name, &repo.Entry{Sig: csig, Code: code, Quality: quality}, gen)
+	return nil
+}
+
 func (r *repoState) runEntry(entry *repo.Entry, fn *ast.Function, args []*mat.Value, nout int) ([]*mat.Value, error) {
-	r.callDepth++
+	depth := atomic.AddInt32(&r.callDepth, 1)
 	var t0 time.Time
-	if r.callDepth == 1 {
+	if depth == 1 {
 		t0 = time.Now()
 	}
 	var outs []*mat.Value
@@ -112,10 +242,10 @@ func (r *repoState) runEntry(entry *repo.Entry, fn *ast.Function, args []*mat.Va
 	} else {
 		outs, err = vm.Run(entry.Code, r.e, args)
 	}
-	if r.callDepth == 1 {
-		r.e.timing.Exec += time.Since(t0).Nanoseconds()
+	if depth == 1 {
+		atomic.AddInt64(&r.e.timing.Exec, time.Since(t0).Nanoseconds())
 	}
-	r.callDepth--
+	atomic.AddInt32(&r.callDepth, -1)
 	if err != nil {
 		return nil, err
 	}
@@ -126,23 +256,47 @@ func (r *repoState) runEntry(entry *repo.Entry, fn *ast.Function, args []*mat.Va
 }
 
 // maybeUpgrade recompiles a hot JIT entry with the optimizing backend,
-// replacing the code in place so every later lookup of this entry runs
-// the better version (paper §2: "The generated code can later be
+// replacing the entry in the repository so every later lookup runs the
+// better version (paper §2: "The generated code can later be
 // recompiled (and replaced in the repository) using a better
-// compiler").
+// compiler"). The published entry is never mutated in place — a
+// replacement entry is swapped in via Replace, which keeps concurrent
+// executors of the old code safe and refuses to resurrect invalidated
+// functions. In async mode the upgrade compiles on the worker pool.
 func (r *repoState) maybeUpgrade(fn *ast.Function, entry *repo.Entry) {
 	threshold := r.e.opts.RecompileThreshold
-	if threshold <= 0 || entry.Quality != repo.QualityJIT || entry.Hits < threshold {
+	if threshold <= 0 || entry.Quality != repo.QualityJIT || entry.Hits() < int64(threshold) {
 		return
 	}
+	name := fn.Name
+	if r.e.queue != nil {
+		gen := r.r.Generation(name)
+		key := fmt.Sprintf("up\x00%s\x00%s\x00%d", name, entry.Sig.Key(), gen)
+		r.e.queue.Do(key, func() error {
+			r.upgrade(name, entry)
+			return nil
+		})
+		return
+	}
+	r.upgrade(name, entry)
+}
+
+func (r *repoState) upgrade(name string, entry *repo.Entry) {
+	fn := r.e.LookupFunction(name)
+	if fn == nil {
+		return
+	}
+	repl := &repo.Entry{Sig: entry.Sig, Quality: repo.QualityOpt, Speculative: entry.Speculative}
 	code, err := r.e.compile(fn, entry.Sig, pipelineOpts{optimize: true})
 	if err != nil {
-		// Upgrade failure is harmless; keep the JIT code and stop trying.
-		entry.Quality = repo.QualityOpt
-		return
+		// Upgrade failure is harmless; keep the JIT code and stop trying
+		// (the replacement carries QualityOpt so the threshold check
+		// never fires again for this entry).
+		repl.Code = entry.Code
+	} else {
+		repl.Code = code
 	}
-	entry.Code = code
-	entry.Quality = repo.QualityOpt
+	r.r.Replace(name, entry, repl)
 }
 
 // widen relaxes ranges (and, where bounds differ across calls, shapes

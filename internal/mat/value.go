@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind is the intrinsic kind of a Value. The ordering mirrors the paper's
@@ -68,15 +69,17 @@ type Value struct {
 	// shared marks a value that may be reachable through more than one
 	// binding (B = A, function arguments, returned values). In-place
 	// mutation paths (indexed assignment) clone shared values first —
-	// MATLAB's copy-on-write semantics.
-	shared bool
+	// MATLAB's copy-on-write semantics. Accessed atomically: with the
+	// async compilation service, one argument value can flow into
+	// concurrent invocations, each of which marks it shared on entry.
+	shared uint32
 }
 
 // MarkShared flags the value as reachable through multiple bindings.
-func (v *Value) MarkShared() { v.shared = true }
+func (v *Value) MarkShared() { atomic.StoreUint32(&v.shared, 1) }
 
 // IsShared reports whether in-place mutation must copy first.
-func (v *Value) IsShared() bool { return v.shared }
+func (v *Value) IsShared() bool { return atomic.LoadUint32(&v.shared) != 0 }
 
 // Error is the error type reported by runtime operations. It mirrors
 // MATLAB's interpreter errors ("Index exceeds matrix dimensions." and

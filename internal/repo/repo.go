@@ -6,10 +6,22 @@
 // distance between signatures. Misses trigger JIT compilation; the
 // repository also hosts speculatively compiled entries and re-compiled
 // (better-optimized) replacements.
+//
+// Concurrency contract: the repository is safe for concurrent use. An
+// *Entry is immutable once published except for its hit counter, which
+// is maintained atomically, so entries handed out by Lookup/Entries can
+// be read (and their code executed) from any goroutine. Upgrades never
+// mutate a published entry's code in place — they swap in a replacement
+// entry via Replace. Each function name carries a generation counter,
+// bumped by Invalidate; asynchronous compile jobs capture the
+// generation at enqueue time and publish through InsertAt, which drops
+// the result if the generation moved (a stale job must not resurrect
+// code for a source file that changed while it was compiling).
 package repo
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 	"repro/internal/vm"
@@ -34,7 +46,9 @@ func (q Quality) String() string {
 	return [...]string{"interp", "jit", "opt"}[q]
 }
 
-// Entry is one compiled version of a function.
+// Entry is one compiled version of a function. Sig, Code, Quality and
+// Speculative are immutable after the entry is published to a
+// repository; the hit counter is atomic.
 type Entry struct {
 	Sig     types.Signature
 	Code    *vm.Compiled // nil for QualityInterp
@@ -42,8 +56,13 @@ type Entry struct {
 	// Speculative marks entries produced ahead of time by the
 	// speculator (for the harness's hit/miss statistics).
 	Speculative bool
-	Hits        int
+	hits        int64 // atomic
 }
+
+// Hits returns the number of Lookup hits this entry has served.
+func (e *Entry) Hits() int64 { return atomic.LoadInt64(&e.hits) }
+
+func (e *Entry) addHit() { atomic.AddInt64(&e.hits, 1) }
 
 // Stats counts repository traffic.
 type Stats struct {
@@ -53,18 +72,20 @@ type Stats struct {
 	Inserts      int
 	SpecHits     int // hits on speculative entries
 	Invalidation int
+	StaleDrops   int // async publishes dropped by a generation mismatch
 }
 
 // Repository is the signature-keyed code database.
 type Repository struct {
 	mu    sync.Mutex
 	funcs map[string][]*Entry
+	gens  map[string]uint64
 	stats Stats
 }
 
 // New returns an empty repository.
 func New() *Repository {
-	return &Repository{funcs: map[string][]*Entry{}}
+	return &Repository{funcs: map[string][]*Entry{}, gens: map[string]uint64{}}
 }
 
 // Lookup returns the best safe entry for an invocation signature, or
@@ -86,7 +107,7 @@ func (r *Repository) Lookup(name string, q types.Signature) *Entry {
 	}
 	if best != nil {
 		r.stats.Hits++
-		best.Hits++
+		best.addHit()
 		if best.Speculative {
 			r.stats.SpecHits++
 		}
@@ -94,6 +115,21 @@ func (r *Repository) Lookup(name string, q types.Signature) *Entry {
 		r.stats.Misses++
 	}
 	return best
+}
+
+// Covered reports whether some entry already safely serves signature q
+// (without touching the lookup statistics). Asynchronous compile jobs
+// use it to skip publishing a duplicate when an equivalent entry landed
+// between the miss and the job's execution.
+func (r *Repository) Covered(name string, q types.Signature) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range r.funcs[name] {
+		if e.Sig.Safe(q) {
+			return true
+		}
+	}
+	return false
 }
 
 // Entries returns the compiled versions of a function (for majicc -dump
@@ -104,19 +140,68 @@ func (r *Repository) Entries(name string) []*Entry {
 	return append([]*Entry(nil), r.funcs[name]...)
 }
 
-// Insert adds an entry.
+// Generation returns the current generation of a function name. The
+// counter advances on every Invalidate; an asynchronous compile job
+// captures it before compiling and passes it back to InsertAt.
+func (r *Repository) Generation(name string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gens[name]
+}
+
+// Insert adds an entry at the current generation.
 func (r *Repository) Insert(name string, e *Entry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.insertLocked(name, e)
+}
+
+// InsertAt adds an entry if the function's generation still equals gen.
+// It returns false — and drops the entry — when an Invalidate happened
+// after the compile job was enqueued, so stale code never resurrects.
+func (r *Repository) InsertAt(name string, e *Entry, gen uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gens[name] != gen {
+		r.stats.StaleDrops++
+		return false
+	}
+	r.insertLocked(name, e)
+	return true
+}
+
+func (r *Repository) insertLocked(name string, e *Entry) {
 	r.stats.Inserts++
 	r.funcs[name] = append(r.funcs[name], e)
 }
 
+// Replace swaps a published entry for its recompiled upgrade, carrying
+// the hit count over. It returns false if old is no longer present
+// (the function was invalidated while the upgrade compiled), in which
+// case the new entry is dropped — replacement must never resurrect an
+// entry for stale source. Replace does not count as an Insert: the
+// repository still holds one compiled version for the signature.
+func (r *Repository) Replace(name string, old, repl *Entry) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, e := range r.funcs[name] {
+		if e == old {
+			atomic.StoreInt64(&repl.hits, old.Hits())
+			r.funcs[name][i] = repl
+			return true
+		}
+	}
+	r.stats.StaleDrops++
+	return false
+}
+
 // Invalidate drops all entries for a function (source change detected
-// by the snooper).
+// by the snooper) and advances its generation so in-flight compile jobs
+// for the old source publish into the void.
 func (r *Repository) Invalidate(name string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.gens[name]++
 	if _, ok := r.funcs[name]; ok {
 		delete(r.funcs, name)
 		r.stats.Invalidation++

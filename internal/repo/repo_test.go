@@ -1,6 +1,7 @@
 package repo
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/mat"
@@ -112,5 +113,120 @@ func TestStatsCounting(t *testing.T) {
 	r.ResetStats()
 	if r.Stats().Lookups != 0 {
 		t.Error("ResetStats")
+	}
+}
+
+// TestGenerationDropsStaleInsert models the invalidation-vs-in-flight
+// race of the async compilation service: a compile job that captured
+// its generation before Invalidate must not resurrect old code by
+// publishing after it.
+func TestGenerationDropsStaleInsert(t *testing.T) {
+	r := New()
+	sig := types.Signature{intScalar(20)}
+	gen := r.Generation("f")
+
+	// Source changes while the job is (conceptually) compiling.
+	r.Invalidate("f")
+
+	if ok := r.InsertAt("f", &Entry{Sig: sig, Quality: QualityJIT}, gen); ok {
+		t.Fatal("stale job publish must be dropped after Invalidate")
+	}
+	if e := r.Lookup("f", sig); e != nil {
+		t.Fatal("stale entry resurrected")
+	}
+	st := r.Stats()
+	if st.StaleDrops != 1 || st.Inserts != 0 {
+		t.Errorf("stats: %+v, want StaleDrops=1 Inserts=0", st)
+	}
+
+	// A job enqueued at the new generation publishes normally.
+	gen2 := r.Generation("f")
+	if gen2 == gen {
+		t.Fatal("Invalidate must advance the generation")
+	}
+	if ok := r.InsertAt("f", &Entry{Sig: sig, Quality: QualityJIT}, gen2); !ok {
+		t.Fatal("current-generation publish must land")
+	}
+	if e := r.Lookup("f", sig); e == nil {
+		t.Fatal("fresh entry missing")
+	}
+}
+
+// TestInvalidateAdvancesGenerationWithoutEntries: the generation must
+// move even before any entry exists — a job can be in flight for a
+// function that was never compiled yet.
+func TestInvalidateAdvancesGenerationWithoutEntries(t *testing.T) {
+	r := New()
+	gen := r.Generation("f")
+	r.Invalidate("f")
+	if r.Generation("f") == gen {
+		t.Fatal("Invalidate on an empty function must still advance the generation")
+	}
+	if st := r.Stats(); st.Invalidation != 0 {
+		t.Errorf("empty invalidate must not count as Invalidation: %+v", st)
+	}
+}
+
+// TestReplace: the upgrade path swaps entries, carries hits over, and
+// refuses to resurrect after invalidation.
+func TestReplace(t *testing.T) {
+	r := New()
+	sig := types.Signature{types.ScalarOf(types.IInt, types.RangeTop)}
+	old := &Entry{Sig: sig, Quality: QualityJIT}
+	r.Insert("f", old)
+	r.Lookup("f", types.Signature{intScalar(1)})
+	r.Lookup("f", types.Signature{intScalar(2)})
+
+	repl := &Entry{Sig: sig, Quality: QualityOpt}
+	if !r.Replace("f", old, repl) {
+		t.Fatal("Replace of a live entry must succeed")
+	}
+	got := r.Lookup("f", types.Signature{intScalar(3)})
+	if got != repl || got.Quality != QualityOpt {
+		t.Fatalf("lookup after Replace returned %+v", got)
+	}
+	if got.Hits() != 3 { // 2 carried over + this lookup
+		t.Errorf("hits not carried over: %d", got.Hits())
+	}
+	if st := r.Stats(); st.Inserts != 1 {
+		t.Errorf("Replace must not count as Insert: %+v", st)
+	}
+
+	// Invalidation wins over a racing upgrade.
+	r.Invalidate("f")
+	if r.Replace("f", repl, &Entry{Sig: sig, Quality: QualityOpt}) {
+		t.Fatal("Replace after Invalidate must fail")
+	}
+	if e := r.Lookup("f", types.Signature{intScalar(4)}); e != nil {
+		t.Fatal("Replace resurrected an invalidated entry")
+	}
+}
+
+// TestConcurrentLookupEntriesHits is the regression test for the latent
+// race where Lookup mutated Entry.Hits under the repository lock while
+// Entries handed out the same pointers to lock-free readers. Run with
+// -race.
+func TestConcurrentLookupEntriesHits(t *testing.T) {
+	r := New()
+	sig := types.Signature{types.ScalarOf(types.IInt, types.RangeTop)}
+	r.Insert("f", &Entry{Sig: sig, Quality: QualityJIT})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Lookup("f", types.Signature{intScalar(float64(i))})
+				for _, e := range r.Entries("f") {
+					_ = e.Hits()
+					_ = e.Quality
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	entries := r.Entries("f")
+	if len(entries) != 1 || entries[0].Hits() != 8*200 {
+		t.Fatalf("hits = %d, want %d", entries[0].Hits(), 8*200)
 	}
 }

@@ -32,6 +32,15 @@ var colonMarker = mat.Empty()
 
 // Compiled wraps a Prog with resolved builtin/math-function tables so
 // repeated invocations skip name resolution.
+//
+// Concurrency audit (async compilation service): a *Compiled is
+// immutable after Prepare returns — the instruction stream, resolved
+// function tables, and the vpool constants (which Prepare marks shared,
+// so compiled code copy-on-writes instead of mutating them) are never
+// written again. A Compiled published to the repository by one
+// goroutine is therefore safe to execute from any other; the
+// repository's mutex provides the happens-before edge between Prepare
+// and Run.
 type Compiled struct {
 	P        *ir.Prog
 	mathFns  []func(float64) float64
@@ -113,6 +122,16 @@ func (e *Error) Error() string { return fmt.Sprintf("%s+%d: %v", e.Fn, e.PC, e.E
 func (e *Error) Unwrap() error { return e.Err }
 
 // Run executes the compiled function with the given boxed arguments.
+//
+// Run is re-entrant and safe for concurrent use with the same
+// *Compiled: every register bank is allocated per call, argument
+// values are marked shared on entry (so in-place mutation inside the
+// callee copy-on-writes rather than racing with a concurrent caller
+// passing the same value), and the only cross-call state reached is
+// the Host — whose Context (RNG, output writer) and CallFunction
+// (repository dispatch) are concurrency-safe in async mode. mat.Value
+// results returned by Run are fresh or marked shared, so publishing
+// them across goroutines is safe.
 func Run(c *Compiled, host Host, args []*mat.Value) ([]*mat.Value, error) {
 	p := c.P
 	if len(args) != len(p.Params) {

@@ -22,8 +22,15 @@
 //	eng.EvalString("x = 1:10; s = sum(x);")
 //	v, _ := eng.Workspace("s") // 55
 //
-// An Engine is not safe for concurrent use: like a MATLAB session it
-// owns one workspace, one RNG stream, and one code repository. Create
+// Like a MATLAB session, an Engine owns one workspace, one RNG stream,
+// and one code repository, so interactive use — EvalString, Workspace,
+// Define, globals — must stay on a single client goroutine. Call is the
+// exception: with Options.AsyncCompile, any number of goroutines may
+// Call functions through one shared Engine concurrently; compiles run
+// on a bounded background worker pool with single-flight deduplication,
+// and the repository handles concurrent lookup, insertion, and
+// invalidation (see DESIGN.md §9). Call Close to shut the pool down.
+// Without AsyncCompile the engine is single-client throughout: create
 // one Engine per goroutine for parallel work.
 package majic
 
