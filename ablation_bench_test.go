@@ -1,7 +1,8 @@
 // Ablation benchmarks for the design choices DESIGN.md calls out beyond
 // the paper's Figure 7: array oversizing (§2.6.1), dgemv fusion
-// (§2.6.1), and function inlining (§2.6.1, evaluated on orbrk and the
-// recursive benchmarks in §3.4).
+// (§2.6.1), function inlining (§2.6.1, evaluated on orbrk and the
+// recursive benchmarks in §3.4), and elementwise fusion with the
+// recycling buffer pool (DESIGN.md §10).
 package main
 
 import (
@@ -115,6 +116,40 @@ func BenchmarkAblationInlining(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationFusion measures the elementwise fusion engine and
+// its recycling buffer pool on vector-chain-heavy solvers: every fused
+// chain runs as one loop with a pooled destination instead of one
+// temporary per operator.
+func BenchmarkAblationFusion(b *testing.B) {
+	for _, name := range []string{"cgopt", "sor", "qmr"} {
+		bm := bench.ByName(name)
+		for _, fused := range []bool{true, false} {
+			label := name + "/fused"
+			if !fused {
+				label = name + "/sync"
+			}
+			b.Run(label, func(b *testing.B) {
+				opts := core.Options{Tier: core.TierFalcon, Seed: 1, FuseElemwise: fused}
+				e := core.New(opts)
+				if err := e.Define(bm.Source(bench.Medium)); err != nil {
+					b.Fatal(err)
+				}
+				args := bm.Args(bench.Medium)
+				if _, err := e.Call(bm.Fn, args, 1); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Call(bm.Fn, args, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestAblationSwitchesPreserveResults guards the ablation switches the
 // benchmarks above rely on.
 func TestAblationSwitchesPreserveResults(t *testing.T) {
@@ -123,6 +158,8 @@ func TestAblationSwitchesPreserveResults(t *testing.T) {
 	for _, opts := range []core.Options{
 		{Tier: core.TierFalcon, DisableGEMV: true},
 		{Tier: core.TierJIT, DisableInlining: true},
+		{Tier: core.TierFalcon, FuseElemwise: true},
+		{Tier: core.TierJIT, FuseElemwise: true, DisableGEMV: true},
 	} {
 		if got := runChecksum(t, bm, opts); !closeEnough(ref, got) {
 			t.Errorf("%+v: %g != %g", opts, got, ref)

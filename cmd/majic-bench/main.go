@@ -5,6 +5,8 @@
 //	majic-bench -exp=fig4 -reps=5
 //	majic-bench -exp=all -size=paper -bench=dirich,finedif
 //	majic-bench -exp=concurrent -clients=8 -async -workers=4
+//	majic-bench -exp=fig4 -fuse                # fused elementwise kernels
+//	majic-bench -exp=table1 -cpuprofile=cpu.pb.gz -memprofile=mem.pb.gz
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, table2, sec5, resp,
 // concurrent, all. The concurrent experiment is not part of "all": it
@@ -17,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
@@ -33,7 +37,38 @@ func main() {
 	async := flag.Bool("async", false, "concurrent experiment: enable the async compilation service")
 	workers := flag.Int("workers", 0, "concurrent experiment: async compile workers (0 = GOMAXPROCS)")
 	calls := flag.Int("calls", 20, "concurrent experiment: steady-state calls per client")
+	fuse := flag.Bool("fuse", false, "fuse elementwise operator trees into single kernels (with buffer recycling)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	sz, err := bench.ParseSize(*size)
 	if err != nil {
@@ -45,6 +80,7 @@ func main() {
 		Reps: *reps,
 		Out:  os.Stdout,
 		Seed: *seed,
+		Fuse: *fuse,
 	}
 	if *benches != "" {
 		for _, name := range strings.Split(*benches, ",") {
@@ -89,6 +125,7 @@ func main() {
 			CallsPerClient: *calls,
 			Benchmarks:     cfg.Benchmarks,
 			Out:            os.Stdout,
+			Fuse:           *fuse,
 		}
 		run("concurrent", ccfg.Report)
 	case "all":

@@ -30,6 +30,7 @@ func main() {
 	seed := flag.Uint64("seed", 0, "RNG seed")
 	async := flag.Bool("async", false, "compile in the background on a worker pool (asynchronous repository)")
 	workers := flag.Int("workers", 0, "async compile workers (0 = GOMAXPROCS; implies nothing unless -async)")
+	fuse := flag.Bool("fuse", false, "fuse elementwise operator trees into single kernels (with buffer recycling)")
 	flag.Parse()
 
 	tier, err := parseTier(*tierFlag)
@@ -44,7 +45,7 @@ func main() {
 
 	e := core.New(core.Options{
 		Tier: tier, Platform: platform, Out: os.Stdout, Seed: *seed,
-		AsyncCompile: *async, CompileWorkers: *workers,
+		AsyncCompile: *async, CompileWorkers: *workers, FuseElemwise: *fuse,
 	})
 	defer e.Close()
 

@@ -92,6 +92,7 @@ func TestBenchmarksUnderAblations(t *testing.T) {
 		{Tier: core.TierJIT, DisableMinShapes: true},
 		{Tier: core.TierJIT, SpillAll: true},
 		{Tier: core.TierJIT, DisableInlining: true},
+		{Tier: core.TierJIT, FuseElemwise: true},
 	}
 	for _, b := range bench.All() {
 		b := b

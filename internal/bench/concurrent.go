@@ -38,6 +38,10 @@ type ConcurrentConfig struct {
 	// Benchmarks selects a subset of ConcurrentSet (default: all).
 	Benchmarks []string
 	Out        io.Writer
+	// Fuse enables elementwise fusion on the shared engine, which also
+	// turns on the process-wide recycling buffer pool — the race
+	// detector's stress case for pooled buffers crossing goroutines.
+	Fuse bool
 }
 
 // ConcurrentRow is one benchmark's result.
@@ -91,6 +95,7 @@ func (c ConcurrentConfig) runOne(b *Benchmark) (ConcurrentRow, error) {
 		AsyncCompile:   c.Async,
 		CompileWorkers: c.Workers,
 		Seed:           1,
+		FuseElemwise:   c.Fuse,
 	})
 	defer e.Close()
 	if err := e.Define(b.Source(c.Size)); err != nil {

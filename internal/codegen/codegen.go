@@ -31,6 +31,12 @@ type Config struct {
 	UnrollSmallVectors bool
 	// FuseGEMV enables the a*A*x + b*y → dgemv pattern match.
 	FuseGEMV bool
+	// FuseElemwise collects maximal trees of elementwise operators on
+	// proven-real operands into single OpVFused kernels that run as one
+	// loop with no intermediate arrays. Off by default so the baseline
+	// paper-mode measurements keep the one-library-call-per-operator
+	// execution model.
+	FuseElemwise bool
 	// MaxUnrollElems caps the unrolled element count (paper: "very
 	// effective on small (up to 3x3) matrices").
 	MaxUnrollElems int

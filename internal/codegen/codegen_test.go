@@ -152,6 +152,69 @@ end`
 	}
 }
 
+// Elementwise fusion (§2.6.1 temporary elimination): a chain of k >= 2
+// elementwise vector operators compiles to exactly one OpVFused kernel
+// and no generic ops.
+func TestElemwiseFusion(t *testing.T) {
+	const src = `
+function r = f(a, b, c, s)
+  r = a + b .* c - a ./ s;
+end`
+	vec := types.Exact(types.IReal, 1, 10000, types.RangeTop)
+	params := map[string]types.Type{
+		"a": vec, "b": vec, "c": vec,
+		"s": types.ScalarOf(types.IReal, types.RangeTop),
+	}
+	cfgFuse := DefaultConfig()
+	cfgFuse.FuseElemwise = true
+	p := compileFn(t, src, params, cfgFuse)
+	if n := count(p, ir.OpVFused); n != 1 {
+		t.Errorf("expected one fused kernel, got %d:\n%s", n, p.Disasm())
+	}
+	if n := count(p, ir.OpGBin); n != 0 {
+		t.Errorf("%d generic ops remain beside the fused kernel:\n%s", n, p.Disasm())
+	}
+	// the scalar divisor is staged once, not loaded per element
+	if n := count(p, ir.OpVFuseArgF); n != 1 {
+		t.Errorf("expected one staged scalar, got %d:\n%s", n, p.Disasm())
+	}
+	// off by default
+	p = compileFn(t, src, params, DefaultConfig())
+	if n := count(p, ir.OpVFused); n != 0 {
+		t.Errorf("fused kernel emitted with fusion disabled:\n%s", p.Disasm())
+	}
+}
+
+// Math builtins and unary minus root fused trees too, and a subtree the
+// dgemv matcher claims stays an unfused leaf so the beta-folding
+// accumulation order (and bit pattern) is preserved.
+func TestElemwiseFusionRootsAndGEMVLeaves(t *testing.T) {
+	vec := types.Exact(types.IReal, 1, 5000, types.RangeTop)
+	cfgFuse := DefaultConfig()
+	cfgFuse.FuseElemwise = true
+
+	p := compileFn(t, `
+function r = f(a, b)
+  r = exp(-(a + b));
+end`, map[string]types.Type{"a": vec, "b": vec}, cfgFuse)
+	if n := count(p, ir.OpVFused); n != 1 {
+		t.Errorf("builtin-rooted tree: expected one fused kernel, got %d:\n%s", n, p.Disasm())
+	}
+	if n := count(p, ir.OpGBuiltin, ir.OpGBin, ir.OpGUn); n != 0 {
+		t.Errorf("builtin-rooted tree left %d generic ops:\n%s", n, p.Disasm())
+	}
+
+	col := types.Exact(types.IReal, 40, 1, types.RangeTop)
+	mtx := types.Exact(types.IReal, 40, 40, types.RangeTop)
+	p = compileFn(t, `
+function r = f(A, x, b, c)
+  r = (b - A*x) .* c;
+end`, map[string]types.Type{"A": mtx, "x": col, "b": col, "c": col}, cfgFuse)
+	if n := count(p, ir.OpGEMV); n != 1 {
+		t.Errorf("dgemv subtree not preserved as a leaf: %d gemv ops:\n%s", n, p.Disasm())
+	}
+}
+
 // Storage classes: int scalars in I registers, real scalars in F,
 // complex scalars in C, matrices boxed in V.
 func TestStorageClasses(t *testing.T) {

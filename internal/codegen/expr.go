@@ -169,6 +169,13 @@ func (g *gen) binary(x *ast.Binary) (ir.Bank, int32) {
 		}
 	}
 
+	// Fused elementwise kernel for whole trees of vector operators.
+	if g.cfg.FuseElemwise {
+		if b, r, ok := g.tryFuseExpr(x); ok {
+			return b, r
+		}
+	}
+
 	// Generic fallback: boxed operands, polymorphic library call.
 	lb, lr := g.expr(x.L)
 	lv := g.toV(lb, lr)
@@ -355,6 +362,13 @@ func (g *gen) shortCircuit(x *ast.Binary) (ir.Bank, int32) {
 
 func (g *gen) unary(x *ast.Unary) (ir.Bank, int32) {
 	ann := g.annOf(x)
+	// A vector negation may root a fused elementwise tree; try before
+	// evaluating the operand so nothing is compiled twice.
+	if g.cfg.FuseElemwise && x.Op == ast.OpNeg && !ann.IsScalar() {
+		if fb, fr, ok := g.tryFuseExpr(x); ok {
+			return fb, fr
+		}
+	}
 	b, r := g.expr(x.X)
 	switch x.Op {
 	case ast.OpNeg:

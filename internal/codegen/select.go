@@ -210,6 +210,14 @@ func (g *gen) builtinCall(x *ast.Call) (ir.Bank, int32) {
 	ann := g.annOf(x)
 	name := x.Name
 
+	// A vector math builtin may root a fused elementwise tree
+	// (exp(a + b) runs as one loop instead of two passes).
+	if g.cfg.FuseElemwise && !ann.IsScalar() {
+		if fb, fr, ok := g.tryFuseExpr(x); ok {
+			return fb, fr
+		}
+	}
+
 	// Inlined elementary math on typed scalars (§2.6.1: "MaJIC inlines
 	// scalar arithmetic and logical operations, elementary math
 	// functions...").
@@ -631,6 +639,33 @@ func binOpNormalize(op ast.BinOp) ast.BinOp {
 // vectors, emitting a single fused dgemv call (§2.6.1: "expressions
 // like a*X+b*C*Y are transformed into a single call to dgemv").
 func (g *gen) tryGEMV(x *ast.Binary) (ir.Bank, int32, bool) {
+	mul, other, alpha, beta, ok := g.matchGEMV(x)
+	if !ok {
+		return 0, 0, false
+	}
+	// OpGEMV: A=dst, B=aux index; aux = [Areg, xreg, yreg|-1, betaCode];
+	// Imm carries alpha. betaCode 0 → β=0, 1 → β=1, -1 → β=-1.
+	ab, ar := g.expr(mul.L)
+	av := g.toV(ab, ar)
+	xb, xr := g.expr(mul.R)
+	xv := g.toV(xb, xr)
+	var yv int32 = -1
+	if other != nil {
+		yb, yr := g.expr(other)
+		yv = g.toV(yb, yr)
+	}
+	d := g.newReg(ir.BankV)
+	aux := g.prog.AddAux(av, xv, yv, int32(betaCode(beta)))
+	g.emit(ir.Instr{Op: ir.OpGEMV, A: d, B: aux, Imm: alpha})
+	return ir.BankV, d, true
+}
+
+// matchGEMV reports whether x matches one of the dgemv patterns and how
+// (mul is the A*x product, other the ± y operand). It is also consulted
+// by the elementwise fuser, which leaves matching subtrees alone so ±y
+// keeps folding into dgemv's beta with the same accumulation order as
+// the unfused pipeline.
+func (g *gen) matchGEMV(x *ast.Binary) (mul *ast.Binary, other ast.Expr, alpha, beta float64, ok bool) {
 	isMatVec := func(e ast.Expr) (*ast.Binary, bool) {
 		bin, ok := e.(*ast.Binary)
 		if !ok || bin.Op != ast.OpMul {
@@ -650,52 +685,29 @@ func (g *gen) tryGEMV(x *ast.Binary) (ir.Bank, int32, bool) {
 		return bin, true
 	}
 
-	// OpGEMV: A=dst, B=aux index; aux = [Areg, xreg, yreg|-1, betaCode];
-	// Imm carries alpha. betaCode 0 → β=0, 1 → β=1, -1 → β=-1.
-	emit := func(mul *ast.Binary, other ast.Expr, alpha, beta float64) (ir.Bank, int32) {
-		ab, ar := g.expr(mul.L)
-		av := g.toV(ab, ar)
-		xb, xr := g.expr(mul.R)
-		xv := g.toV(xb, xr)
-		var yv int32 = -1
-		if other != nil {
-			yb, yr := g.expr(other)
-			yv = g.toV(yb, yr)
-		}
-		d := g.newReg(ir.BankV)
-		aux := g.prog.AddAux(av, xv, yv, int32(betaCode(beta)))
-		g.emit(ir.Instr{Op: ir.OpGEMV, A: d, B: aux, Imm: alpha})
-		return ir.BankV, d
-	}
-
 	switch x.Op {
 	case ast.OpMul:
-		if mul, ok := isMatVec(x); ok {
-			b, r := emit(mul, nil, 1, 0)
-			return b, r, true
+		if m, k := isMatVec(x); k {
+			return m, nil, 1, 0, true
 		}
 	case ast.OpAdd:
-		if mul, ok := isMatVec(x.L); ok && g.realVector(x.R) {
-			b, r := emit(mul, x.R, 1, 1)
-			return b, r, true
+		if m, k := isMatVec(x.L); k && g.realVector(x.R) {
+			return m, x.R, 1, 1, true
 		}
-		if mul, ok := isMatVec(x.R); ok && g.realVector(x.L) {
-			b, r := emit(mul, x.L, 1, 1)
-			return b, r, true
+		if m, k := isMatVec(x.R); k && g.realVector(x.L) {
+			return m, x.L, 1, 1, true
 		}
 	case ast.OpSub:
 		// y - A*x → -1*A*x + y
-		if mul, ok := isMatVec(x.R); ok && g.realVector(x.L) {
-			b, r := emit(mul, x.L, -1, 1)
-			return b, r, true
+		if m, k := isMatVec(x.R); k && g.realVector(x.L) {
+			return m, x.L, -1, 1, true
 		}
 		// A*x - y → 1*A*x + (-1)*y
-		if mul, ok := isMatVec(x.L); ok && g.realVector(x.R) {
-			b, r := emit(mul, x.R, 1, -1)
-			return b, r, true
+		if m, k := isMatVec(x.L); k && g.realVector(x.R) {
+			return m, x.R, 1, -1, true
 		}
 	}
-	return 0, 0, false
+	return nil, nil, 0, 0, false
 }
 
 func (g *gen) realVector(e ast.Expr) bool {

@@ -71,6 +71,13 @@ func (e *Engine) compile(fn *ast.Function, sig types.Signature, po pipelineOpts)
 	if po.optimize {
 		opt.Run(prog, e.optConfig())
 	}
+	if ccfg.FuseElemwise {
+		// Redirect fused kernels to write into the assigned variable's
+		// register so the VM can reuse its displaced buffer in place.
+		// Runs in the JIT pipeline too (which skips opt.Run): the pass
+		// is a single peephole, cheap enough for compile-latency mode.
+		opt.FuseDst(prog)
+	}
 	ra := regalloc.DefaultOptions()
 	ra.SpillAll = e.opts.SpillAll
 	regalloc.Allocate(prog, ra)
@@ -104,13 +111,16 @@ func (e *Engine) inferOptsFor(po pipelineOpts) infer.Opts {
 // and dgemv fusion there.
 func (e *Engine) codegenConfig(po pipelineOpts) codegen.Config {
 	cfg := codegen.DefaultConfig()
+	cfg.FuseElemwise = e.opts.FuseElemwise
 	if po.generic {
 		cfg.UnrollSmallVectors = false
 		cfg.FuseGEMV = false
+		cfg.FuseElemwise = false
 	}
 	if e.opts.Platform == PlatformMIPS && !po.optimize {
 		cfg.UnrollSmallVectors = false
 		cfg.FuseGEMV = false
+		cfg.FuseElemwise = false
 	}
 	if po.optimize {
 		cfg.UnrollLoops = e.optConfig().UnrollFactor

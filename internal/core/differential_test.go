@@ -505,6 +505,8 @@ func TestAblationsPreserveSemantics(t *testing.T) {
 		{Tier: TierJIT, DisableRanges: true, DisableMinShapes: true, SpillAll: true},
 		{Tier: TierJIT, DisableInlining: true},
 		{Tier: TierSpec, DisableRanges: true, SpillAll: true},
+		{Tier: TierJIT, FuseElemwise: true},
+		{Tier: TierSpec, FuseElemwise: true, DisableMinShapes: true},
 	}
 	for _, p := range diffPrograms {
 		p := p

@@ -97,6 +97,14 @@ type Options struct {
 	// DisableGEMV turns off the a*A*x + b*y → dgemv code selection
 	// (ablation for the fusion rule of §2.6.1).
 	DisableGEMV bool
+	// FuseElemwise turns on elementwise fusion (§2.6.1's
+	// temporary-elimination, extended to whole operator trees): maximal
+	// trees of elementwise operators compile to single fused kernels
+	// that run as one loop with no intermediate arrays, and the mat
+	// buffer pool recycles displaced destination buffers. Off by default
+	// so the baseline paper-mode measurements keep the
+	// one-library-call-per-operator execution model.
+	FuseElemwise bool
 	// JITBackendOpts runs the backend optimization passes inside the JIT
 	// pipeline too — the paper's §5 what-if experiment ("room for future
 	// enhancements of the JIT compiler"): compile time is still counted,
@@ -166,6 +174,9 @@ func New(opts Options) *Engine {
 	e.workspace = interp.NewEnv(e.globals)
 	e.in = interp.New(e)
 	e.repo = newRepoState(e)
+	if opts.FuseElemwise {
+		mat.EnablePool()
+	}
 	if opts.AsyncCompile {
 		workers := opts.CompileWorkers
 		if workers <= 0 {

@@ -28,6 +28,11 @@ type Config struct {
 	// Benchmarks filters by name; empty = all.
 	Benchmarks []string
 	Seed       uint64
+	// Fuse enables elementwise fusion (and the recycling buffer pool)
+	// on every engine the harness builds — the measurement mode for the
+	// fused-kernel experiment. Off by default: paper-mode numbers use
+	// the one-library-call-per-operator execution model.
+	Fuse bool
 }
 
 func (c Config) reps() int {
@@ -67,6 +72,9 @@ func (c Config) list() []*bench.Benchmark {
 // newEngine builds a fresh engine for one measurement.
 func (c Config) newEngine(b *bench.Benchmark, opts core.Options) (*core.Engine, error) {
 	opts.Seed = c.seed()
+	if c.Fuse {
+		opts.FuseElemwise = true
+	}
 	e := core.New(opts)
 	if err := e.Define(b.Source(c.Size)); err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)

@@ -166,6 +166,15 @@ const (
 	OpVConst   // V[A] = vpool[B] (boxed constant: string or colon marker)
 	OpVDisplay // display V[A] as name vpool[B] (echo of unsuppressed statements)
 
+	// elementwise fusion: a maximal tree of elementwise operators runs as
+	// one loop over the output with no intermediate arrays. The aux block
+	// at B holds a postfix micro-op program (layout documented at
+	// FuseLoadV below); scalar leaves are staged into a fixed slot file by
+	// OpVFuseArgF immediately before the kernel so register allocation
+	// sees ordinary F-register uses.
+	OpVFused    // V[A] = eval of fused micro-op program; aux at B: [nv, vreg..., nslots, nops, (code,arg)...]
+	OpVFuseArgF // fuse slot A = F[B] (stages a scalar operand for the next OpVFused)
+
 	// spill support: the linear-scan allocator rewrites spilled virtual
 	// registers into slot loads/stores around each use (the Figure 7
 	// "no regalloc" ablation spills everything).
@@ -207,7 +216,8 @@ var opNames = map[Op]string{
 	OpGBin: "gbin", OpGUn: "gun", OpGIndex: "gindex", OpGAssign: "gassign",
 	OpVConst: "vconst", OpVDisplay: "vdisplay",
 	OpGColon: "gcolon", OpGCat: "gcat", OpGBuiltin: "gbuiltin", OpCallUser: "call",
-	OpGEMV:    "gemv",
+	OpGEMV:   "gemv",
+	OpVFused: "vfused", OpVFuseArgF: "vfusearg.f",
 	OpFLdSlot: "fldslot", OpFStSlot: "fstslot", OpILdSlot: "ildslot", OpIStSlot: "istslot",
 	OpCLdSlot: "cldslot", OpCStSlot: "cstslot", OpVLdSlot: "vldslot", OpVStSlot: "vstslot",
 }
@@ -241,6 +251,39 @@ type ParamBinding struct {
 
 // MathFn identifies scalar math functions for OpFMath/OpCMath.
 type MathFn int32
+
+// Fuse micro-op codes for OpVFused. The aux block at Instr.B is
+//
+//	[nv, vreg_0..vreg_{nv-1}, nslots, nops, (code_0,arg_0)...(code_{nops-1},arg_{nops-1})]
+//
+// and describes a postfix (stack) program evaluated once per output
+// element. FuseLoadV pushes element i of V operand arg (broadcast when
+// the operand is 1×1); FuseLoadSF/FuseLoadSI push the scalar staged in
+// fuse slot arg by a preceding OpVFuseArgF (SI marks the value as
+// integer-kinded for MATLAB's Int/Real result-kind refinement). The
+// binary codes pop y then x and push x∘y; FuseNeg and FuseMath (arg =
+// MathFns index) are unary. Postfix order is exactly the generic
+// evaluation order, so shape errors and NaN/Inf propagation match the
+// unfused path operator for operator.
+const (
+	FuseLoadV  int32 = iota // push V operand arg's element (or its scalar broadcast)
+	FuseLoadSF              // push staged real scalar from fuse slot arg
+	FuseLoadSI              // push staged integer-valued scalar from fuse slot arg
+	FuseAdd
+	FuseSub
+	FuseMul
+	FuseDiv
+	FusePow
+	FuseNeg
+	FuseMath // apply MathFns[arg]
+)
+
+// Limits on a single fused kernel: operand count doubles as the fuse
+// slot file size the VM preallocates, and the op cap bounds the stack.
+const (
+	MaxFuseOperands = 16
+	MaxFuseOps      = 32
+)
 
 // VConstDesc describes one boxed constant.
 type VConstDesc struct {

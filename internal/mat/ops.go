@@ -42,16 +42,27 @@ func elementwise(a, b *Value, fr func(x, y float64) float64, fc func(x, y comple
 		}
 		return out.Demote(), nil
 	}
-	out := NewKind(Real, rows, cols)
-	for i := 0; i < n; i++ {
-		out.re[i] = fr(bcastR(a, i), bcastR(b, i))
-	}
+	out := NewRealUninit(rows, cols)
 	if k == Int || k == Bool {
 		// int-preserving ops stay integral when inputs are; callers that
-		// need exactness (e.g. plus on ints) keep Int kind.
-		if out.AllIntegral() {
+		// need exactness (e.g. plus on ints) keep Int kind. Integrality is
+		// tracked inside the main loop rather than by re-scanning the
+		// finished result.
+		allInt := true
+		for i := 0; i < n; i++ {
+			z := fr(bcastR(a, i), bcastR(b, i))
+			out.re[i] = z
+			if z != math.Trunc(z) || math.IsInf(z, 0) {
+				allInt = false
+			}
+		}
+		if allInt {
 			out.kind = Int
 		}
+		return out, nil
+	}
+	for i := 0; i < n; i++ {
+		out.re[i] = fr(bcastR(a, i), bcastR(b, i))
 	}
 	return out, nil
 }
@@ -429,10 +440,15 @@ func Colon(lo, step, hi *Value) (*Value, error) {
 		n = 0
 	}
 	out := New(1, n+1)
+	allInt := true
 	for i := 0; i <= n; i++ {
-		out.re[i] = a + float64(i)*s
+		x := a + float64(i)*s
+		out.re[i] = x
+		if x != math.Trunc(x) || math.IsInf(x, 0) {
+			allInt = false
+		}
 	}
-	if out.AllIntegral() {
+	if allInt {
 		out.kind = Int
 	}
 	return out, nil

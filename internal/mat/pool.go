@@ -1,0 +1,118 @@
+package mat
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Size-classed recycling pool for real element buffers. The fused
+// elementwise kernel (and the generic operators' real fast path)
+// allocate one full-size result per statement; inside a loop the same
+// handful of sizes recurs every iteration, so recycling the displaced
+// destination buffers makes steady-state allocation cost near zero.
+//
+// The pool is process-wide and opt-in (core.Options.FuseElemwise turns
+// it on) so the synchronous paper-mode measurements are unchanged, and
+// it is built on sync.Pool so concurrent engines sharing the process
+// need no extra locking. Buffers are binned by power-of-two capacity:
+// a Get for n elements draws from the class whose buffers are
+// guaranteed to hold n, so a recycled buffer is never too small.
+
+const (
+	minPoolBits = 6  // smallest pooled class: 64 elements
+	maxPoolBits = 20 // largest pooled class: 1M elements (matches oversizeLimit)
+)
+
+var (
+	poolOn   atomic.Bool
+	pools    [maxPoolBits - minPoolBits + 1]sync.Pool
+	poolGets atomic.Uint64
+	poolHits atomic.Uint64
+	poolPuts atomic.Uint64
+)
+
+// EnablePool turns the recycling buffer pool on for the whole process.
+// There is deliberately no way to turn it off again: engines created
+// with fusion enabled may hold pooled buffers for their lifetime.
+func EnablePool() { poolOn.Store(true) }
+
+// PoolEnabled reports whether the recycling pool is active.
+func PoolEnabled() bool { return poolOn.Load() }
+
+// PoolStats is cumulative pool traffic, for tests and profiling.
+type PoolStats struct {
+	Gets     uint64 // allocation requests routed through the pool
+	Hits     uint64 // requests satisfied by a recycled buffer
+	Recycles uint64 // buffers returned to the pool
+}
+
+// ReadPoolStats returns a snapshot of the counters.
+func ReadPoolStats() PoolStats {
+	return PoolStats{Gets: poolGets.Load(), Hits: poolHits.Load(), Recycles: poolPuts.Load()}
+}
+
+// getClass maps a requested element count to the pool class whose
+// buffers all have capacity >= n, or -1 when the size is not pooled.
+func getClass(n int) int {
+	if n <= 0 {
+		return -1
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2 n)
+	if b < minPoolBits {
+		b = minPoolBits
+	}
+	if b > maxPoolBits {
+		return -1
+	}
+	return b - minPoolBits
+}
+
+// getBuf returns a []float64 of length n with arbitrary contents,
+// recycled when possible. Callers must overwrite every element.
+func getBuf(n int) []float64 {
+	if poolOn.Load() {
+		if c := getClass(n); c >= 0 {
+			poolGets.Add(1)
+			if p, _ := pools[c].Get().(*[]float64); p != nil && cap(*p) >= n {
+				poolHits.Add(1)
+				return (*p)[:n]
+			}
+			// Round fresh allocations up to the class capacity so Recycle
+			// bins them into the same class they were drawn for.
+			return make([]float64, n, 1<<(c+minPoolBits))
+		}
+	}
+	return make([]float64, n)
+}
+
+// NewRealUninit returns a Real rows x cols value whose elements are NOT
+// zeroed — only for callers that overwrite every element (elementwise
+// loops, the fused kernel). With the pool enabled the backing store may
+// be a recycled buffer.
+func NewRealUninit(rows, cols int) *Value {
+	return &Value{kind: Real, rows: rows, cols: cols, re: getBuf(rows * cols)}
+}
+
+// Recycle offers v's backing buffer to the pool. The caller asserts v
+// is dead: its sole owner has dropped it (a displaced destination, a
+// consumed temporary). Shared values, complex values and values the
+// pool is not managing are ignored, so calling it conservatively is
+// always safe — the same ownership condition OpVEnsure uses for its
+// in-place buffer reuse.
+func Recycle(v *Value) {
+	if v == nil || v.im != nil || !poolOn.Load() || v.IsShared() {
+		return
+	}
+	buf := v.re
+	c := bits.Len(uint(cap(buf))) - 1 // floor(log2 cap): every draw from this class fits
+	if c < minPoolBits {
+		return
+	}
+	if c > maxPoolBits {
+		c = maxPoolBits
+	}
+	buf = buf[:0]
+	poolPuts.Add(1)
+	pools[c-minPoolBits].Put(&buf)
+}

@@ -1,0 +1,107 @@
+package mat
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolClass(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{0, -1},
+		{1, 0},  // below the minimum class, rounded up to 64
+		{64, 0}, // exactly 2^6
+		{65, 1}, // needs the 128 class
+		{100, 1},
+		{1 << 20, maxPoolBits - minPoolBits},
+		{1<<20 + 1, -1}, // beyond the largest pooled class
+	}
+	for _, c := range cases {
+		if got := getClass(c.n); got != c.want {
+			t.Errorf("getClass(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestPoolRoundtrip: a recycled buffer satisfies the next same-class
+// draw, and every draw has full length with enough capacity.
+func TestPoolRoundtrip(t *testing.T) {
+	EnablePool()
+	v := NewRealUninit(10, 100)
+	re := v.Re()
+	if len(re) != 1000 {
+		t.Fatalf("buffer length %d, want 1000", len(re))
+	}
+	for i := range re {
+		re[i] = float64(i)
+	}
+	before := ReadPoolStats()
+	Recycle(v)
+	after := ReadPoolStats()
+	if after.Recycles != before.Recycles+1 {
+		t.Fatalf("recycle not counted: %+v -> %+v", before, after)
+	}
+	// Under the race detector sync.Pool drops Put/Get pairs at random to
+	// provoke races, so retry the roundtrip a bounded number of times.
+	hit := false
+	for i := 0; i < 100 && !hit; i++ {
+		w := NewRealUninit(30, 30) // 900 elements: same 1024 class
+		if len(w.Re()) != 900 {
+			t.Fatalf("recycled draw length %d, want 900", len(w.Re()))
+		}
+		hit = ReadPoolStats().Hits > before.Hits
+		Recycle(w)
+	}
+	if !hit {
+		t.Errorf("recycled buffer never reused: %+v -> %+v", before, ReadPoolStats())
+	}
+}
+
+// TestRecycleGuards: shared and complex values must never enter the
+// pool — their buffers may still be reachable.
+func TestRecycleGuards(t *testing.T) {
+	EnablePool()
+	before := ReadPoolStats()
+	sh := NewRealUninit(16, 16)
+	sh.MarkShared()
+	Recycle(sh)
+	z := NewKind(Complex, 16, 16)
+	Recycle(z)
+	Recycle(nil)
+	small := New(2, 2) // below the smallest class
+	Recycle(small)
+	if got := ReadPoolStats(); got.Recycles != before.Recycles {
+		t.Errorf("guarded value entered the pool: %+v -> %+v", before, got)
+	}
+}
+
+// TestPoolConcurrent hammers the pool from many goroutines — the race
+// detector's coverage for recycled buffers crossing goroutines.
+func TestPoolConcurrent(t *testing.T) {
+	EnablePool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := 60 + (g*31+i*7)%500
+				v := NewRealUninit(1, n)
+				re := v.Re()
+				for k := range re {
+					re[k] = float64(g)
+				}
+				for k := range re {
+					if re[k] != float64(g) {
+						t.Errorf("buffer shared across goroutines: got %g, want %d", re[k], g)
+						return
+					}
+				}
+				Recycle(v)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

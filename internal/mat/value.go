@@ -183,6 +183,16 @@ func Empty() *Value { return &Value{kind: Real} }
 // Kind returns the intrinsic kind.
 func (v *Value) Kind() Kind { return v.kind }
 
+// SetNumericKind stamps a non-complex kind on a non-complex value. The
+// fused elementwise kernel computes its result kind by replaying the
+// operator chain's promotion rules after its single loop; this lets it
+// apply that kind without another pass over the data.
+func (v *Value) SetNumericKind(k Kind) {
+	if v.im == nil && k != Complex {
+		v.kind = k
+	}
+}
+
 // Rows returns the exact number of rows (never the oversized capacity).
 func (v *Value) Rows() int { return v.rows }
 

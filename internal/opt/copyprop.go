@@ -154,6 +154,8 @@ func refsShared(in *ir.Instr) []sharedRef {
 	case ir.OpVNewZeros, ir.OpVEnsure:
 		add(&in.B, ir.BankI, false)
 		add(&in.C, ir.BankI, false)
+	case ir.OpVFuseArgF:
+		add(&in.B, ir.BankF, false)
 	}
 	return out
 }

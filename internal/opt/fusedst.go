@@ -1,0 +1,157 @@
+package opt
+
+import "repro/internal/ir"
+
+// FuseDst redirects a fused elementwise kernel to write straight into
+// the assigned variable's register. The statement compiler emits
+//
+//	vfused  d, aux        ; d is a fresh temp
+//	vmovswap x, d         ; x = d, temp inherits x's old buffer
+//
+// and rewriting the kernel's destination to x lets the VM's in-place
+// check see the variable's displaced value: when this frame is its
+// sole owner and the shape matches, `x = x + a .* g` writes into x's
+// existing buffer — the liveness-driven destination reuse of §2.6.1's
+// pre-allocated temporaries, extended to whole fused statements.
+//
+// The rewrite is legal when the swap immediately follows the kernel in
+// the same basic block (nops from earlier passes may intervene) and
+// the temp d appears nowhere else in the program: the swap's only
+// effect besides x = d is to leave x's old value in d for a later
+// OpVEnsure to recycle, and a temp mentioned exactly twice (its def
+// and the swap) has no such later use.
+func FuseDst(p *ir.Prog) {
+	mentions := countVMentions(p)
+	lead := leaders(p)
+	for pos := range p.Ins {
+		in := &p.Ins[pos]
+		if in.Op != ir.OpVFused {
+			continue
+		}
+		// Find the next non-nop instruction in the same block.
+		next := pos + 1
+		for next < len(p.Ins) && p.Ins[next].Op == ir.OpNop && !lead[next] {
+			next++
+		}
+		if next >= len(p.Ins) || lead[next] {
+			continue
+		}
+		sw := &p.Ins[next]
+		if sw.Op != ir.OpVMovSwap || sw.B != in.A || mentions[in.A] != 2 {
+			continue
+		}
+		in.A = sw.A
+		*sw = ir.Instr{Op: ir.OpNop}
+	}
+	compact(p)
+}
+
+// countVMentions counts, for every V register, how many times the
+// program mentions it: instruction operands, aux-block operand lists,
+// parameter bindings and output registers all count.
+func countVMentions(p *ir.Prog) map[int32]int {
+	m := map[int32]int{}
+	note := func(r int32) { m[r]++ }
+	for i := range p.Ins {
+		in := &p.Ins[i]
+		switch in.Op {
+		case ir.OpBrFalseV, ir.OpBrTrueV:
+			note(in.A)
+		case ir.OpVMov, ir.OpVMovSwap, ir.OpVClone:
+			note(in.A)
+			note(in.B)
+		case ir.OpBoxF, ir.OpBoxI, ir.OpBoxC:
+			note(in.A)
+		case ir.OpUnboxF, ir.OpUnboxI, ir.OpUnboxC:
+			note(in.B)
+		case ir.OpFLd1, ir.OpFLd1U, ir.OpFLd2, ir.OpFLd2U:
+			note(in.B)
+		case ir.OpFSt1, ir.OpFSt1U, ir.OpFSt2, ir.OpFSt2U:
+			note(in.A)
+		case ir.OpVNewZeros, ir.OpVEnsure, ir.OpVEnsureOwn, ir.OpVMarkShared,
+			ir.OpVConst, ir.OpVDisplay:
+			note(in.A)
+		case ir.OpVRows, ir.OpVCols, ir.OpVNumel:
+			note(in.B)
+		case ir.OpGBin:
+			note(in.A)
+			note(in.B)
+			note(in.C)
+		case ir.OpGUn:
+			note(in.A)
+			note(in.B)
+		case ir.OpGColon:
+			note(in.A)
+			note(in.B)
+			note(in.C)
+			note(in.D)
+		case ir.OpGIndex:
+			note(in.A)
+			note(in.B)
+			at := int(in.C)
+			n := int(p.Aux[at])
+			for _, r := range p.Aux[at+1 : at+1+n] {
+				note(r)
+			}
+		case ir.OpGAssign:
+			note(in.A)
+			note(in.D)
+			at := int(in.C)
+			n := int(p.Aux[at])
+			for _, r := range p.Aux[at+1 : at+1+n] {
+				note(r)
+			}
+		case ir.OpGCat:
+			note(in.A)
+			at := int(in.B)
+			nrows := int(p.Aux[at])
+			at++
+			for r := 0; r < nrows; r++ {
+				ncols := int(p.Aux[at])
+				at++
+				for _, reg := range p.Aux[at : at+ncols] {
+					note(reg)
+				}
+				at += ncols
+			}
+		case ir.OpGBuiltin, ir.OpCallUser:
+			at := int(in.A)
+			nout := int(p.Aux[at+1])
+			for _, r := range p.Aux[at+2 : at+2+nout] {
+				note(r)
+			}
+			nargs := int(p.Aux[at+2+nout])
+			for _, r := range p.Aux[at+3+nout : at+3+nout+nargs] {
+				note(r)
+			}
+		case ir.OpGEMV:
+			note(in.A)
+			at := int(in.B)
+			note(p.Aux[at])
+			note(p.Aux[at+1])
+			if p.Aux[at+2] >= 0 {
+				note(p.Aux[at+2])
+			}
+		case ir.OpVFused:
+			note(in.A)
+			at := int(in.B)
+			nv := int(p.Aux[at])
+			for _, r := range p.Aux[at+1 : at+1+nv] {
+				note(r)
+			}
+		case ir.OpVLdSlot:
+			note(in.A)
+		case ir.OpVStSlot:
+			note(in.B)
+		}
+	}
+	for _, b := range p.Params {
+		if b.Bank == ir.BankV && !b.Slot {
+			note(b.Reg)
+		}
+	}
+	for _, r := range p.OutRegs {
+		note(r)
+	}
+	return m
+}

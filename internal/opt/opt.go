@@ -392,6 +392,8 @@ func usesOf(in *ir.Instr) []regKey {
 		return []regKey{{ir.BankI, in.B}, {ir.BankI, in.C}, {ir.BankF, in.D}}
 	case ir.OpVNewZeros, ir.OpVEnsure:
 		return []regKey{{ir.BankI, in.B}, {ir.BankI, in.C}}
+	case ir.OpVFuseArgF:
+		return []regKey{{ir.BankF, in.B}}
 	}
 	return nil
 }
@@ -408,7 +410,7 @@ func sideEffect(in *ir.Instr) bool {
 		ir.OpVMov, ir.OpVMovSwap, ir.OpVClone, ir.OpVNewZeros, ir.OpVEnsure, ir.OpVEnsureOwn, ir.OpVMarkShared,
 		ir.OpVConst, ir.OpVDisplay,
 		ir.OpGBin, ir.OpGUn, ir.OpGIndex, ir.OpGAssign, ir.OpGColon, ir.OpGCat,
-		ir.OpGBuiltin, ir.OpCallUser, ir.OpGEMV,
+		ir.OpGBuiltin, ir.OpCallUser, ir.OpGEMV, ir.OpVFused, ir.OpVFuseArgF,
 		ir.OpBoxF, ir.OpBoxI, ir.OpBoxC,
 		ir.OpUnboxF, ir.OpUnboxI, ir.OpUnboxC: // unbox ops can fault
 		return true

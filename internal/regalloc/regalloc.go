@@ -173,6 +173,8 @@ func refs(in *ir.Instr, out []opRef) []opRef {
 	case ir.OpVNewZeros, ir.OpVEnsure:
 		add(&in.B, ir.BankI, false)
 		add(&in.C, ir.BankI, false)
+	case ir.OpVFuseArgF:
+		add(&in.B, ir.BankF, false)
 	case ir.OpVRows, ir.OpVCols, ir.OpVNumel:
 		add(&in.A, ir.BankI, true)
 	}

@@ -1,0 +1,549 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/builtins"
+	"repro/internal/ir"
+	"repro/internal/mat"
+)
+
+// The kernel runs blocked: the micro-op program is dispatched once per
+// block of fuseBlock elements, and each micro-op is one tight float64
+// loop over a cache-resident chunk. That keeps dispatch cost at
+// ops x (n / fuseBlock) instead of ops x n, while intermediates stay in
+// L1 instead of becoming full-size temporaries.
+const fuseBlock = 512
+
+// fuseScratch holds one intermediate chunk per postfix stack slot. The
+// stack is never deeper than the leaf count, which codegen caps at
+// MaxFuseOperands.
+type fuseScratch [ir.MaxFuseOperands][fuseBlock]float64
+
+var fuseScratchPool = sync.Pool{New: func() any { return new(fuseScratch) }}
+
+// chunkAllInt reports whether every element of a produced chunk stayed
+// integral — the same per-element test the generic elementwise loop
+// applies while deciding between an Int and a Real result.
+func chunkAllInt(o []float64) bool {
+	for _, z := range o {
+		if z != math.Trunc(z) || math.IsInf(z, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// fusedExec executes one OpVFused kernel: a postfix micro-op program
+// over real operands, run as a single loop that writes each output
+// element once, with no intermediate arrays. The aux layout is
+//
+//	[nv, vregs..., nslots, nops, (code, arg) x nops]
+//
+// Semantics match the generic one-instruction-per-operator chain
+// bit-for-bit: shapes are checked in the same innermost-first order
+// with the same errors, per-element arithmetic applies the identical
+// float64 operations in the identical order, and the result kind is
+// reproduced by replaying the operators' promotion rules. Whenever the
+// fast path cannot preserve those semantics — an operand is complex or
+// undefined, or an element would promote to complex (negative base to
+// a fractional power, sqrt of a negative) — the whole kernel falls
+// back to interpreting the micro-ops over boxed values through the
+// same mat/builtins entry points the generic instructions call.
+func fusedExec(c *Compiled, ctx *builtins.Context, aux []int32, at, dst int, V []*mat.Value, slots *[ir.MaxFuseOperands]float64) error {
+	nv := int(aux[at])
+	vregs := aux[at+1 : at+1+nv]
+	nops := int(aux[at+2+nv])
+	prog := aux[at+3+nv : at+3+nv+2*nops]
+
+	var ops [ir.MaxFuseOperands]*mat.Value
+	boxed := false
+	for k := 0; k < nv; k++ {
+		v := V[vregs[k]]
+		ops[k] = v
+		if v == nil || v.Im() != nil {
+			boxed = true
+		}
+	}
+	if boxed {
+		return fusedBoxed(c, ctx, prog, ops[:nv], slots, dst, V)
+	}
+
+	// Shape simulation, innermost-first like the generic chain, with
+	// binShape's broadcasting rules and error text.
+	var shR, shC [ir.MaxFuseOps]int
+	sp := 0
+	for j := 0; j < nops; j++ {
+		switch prog[2*j] {
+		case ir.FuseLoadV:
+			v := ops[prog[2*j+1]]
+			shR[sp], shC[sp] = v.Rows(), v.Cols()
+			sp++
+		case ir.FuseLoadSF, ir.FuseLoadSI:
+			shR[sp], shC[sp] = 1, 1
+			sp++
+		case ir.FuseNeg, ir.FuseMath:
+			// shape unchanged
+		default: // binary
+			xr, xc := shR[sp-2], shC[sp-2]
+			yr, yc := shR[sp-1], shC[sp-1]
+			switch {
+			case xr == 1 && xc == 1:
+				shR[sp-2], shC[sp-2] = yr, yc
+			case yr == 1 && yc == 1:
+				// keep x's shape
+			case xr == yr && xc == yc:
+				// same shape
+			default:
+				return mat.Errorf("matrix dimensions must agree: %dx%d vs %dx%d", xr, xc, yr, yc)
+			}
+			sp--
+		}
+	}
+	rows, cols := shR[0], shC[0]
+	n := rows * cols
+
+	// canAbort: the program contains an op whose real path can promote
+	// to complex mid-loop (.^ with a negative base and fractional
+	// exponent, sqrt of a negative). needAcc: which binary ops might
+	// produce an Int/Bool-kinded result and so must track whether every
+	// element stays integral — the same in-loop test mat.elementwise
+	// applies. maybe[] is a conservative "could be Int or Bool" lattice
+	// over the postfix stack; tracking an accumulator that turns out
+	// unnecessary is harmless because the final kind replay uses exact
+	// kinds.
+	canAbort := false
+	var maybe [ir.MaxFuseOps]bool
+	var needAcc [ir.MaxFuseOps]bool
+	sp = 0
+	for j := 0; j < nops; j++ {
+		switch prog[2*j] {
+		case ir.FuseLoadV:
+			k := ops[prog[2*j+1]].Kind()
+			maybe[sp] = k == mat.Int || k == mat.Bool
+			sp++
+		case ir.FuseLoadSF:
+			maybe[sp] = false
+			sp++
+		case ir.FuseLoadSI:
+			maybe[sp] = true
+			sp++
+		case ir.FuseNeg:
+			// numKind keeps Int, turns Bool into Real: leave the flag.
+		case ir.FuseMath:
+			maybe[sp-1] = false
+			if c.fuseSqrt[prog[2*j+1]] {
+				canAbort = true
+			}
+		default:
+			needAcc[j] = maybe[sp-2] && maybe[sp-1]
+			maybe[sp-2] = needAcc[j]
+			sp--
+			if prog[2*j] == ir.FusePow {
+				canAbort = true
+			}
+		}
+	}
+
+	// Destination: reuse the displaced value's buffer when this frame
+	// is its sole owner and the shape matches. Writing in place over an
+	// operand's own buffer is safe for a pure elementwise loop (element
+	// i is fully read before it is written) — except when the kernel
+	// can abort, because the boxed fallback must recompute from intact
+	// operands.
+	old := V[dst]
+	var out *mat.Value
+	if old != nil && !old.IsShared() && old.Im() == nil && old.Rows() == rows && old.Cols() == cols {
+		reuse := true
+		if canAbort {
+			for k := 0; k < nv; k++ {
+				if ops[k] == old {
+					reuse = false
+					break
+				}
+			}
+		}
+		if reuse {
+			out = old
+		}
+	}
+	if out == nil {
+		out = mat.NewRealUninit(rows, cols)
+	}
+	outRe := out.Re()
+
+	var data [ir.MaxFuseOperands][]float64
+	var stride [ir.MaxFuseOperands]int
+	for k := 0; k < nv; k++ {
+		data[k] = ops[k].Re()
+		if !ops[k].IsScalar() {
+			stride[k] = 1
+		}
+	}
+
+	var allInt [ir.MaxFuseOps]bool
+	for j := 0; j < nops; j++ {
+		allInt[j] = true
+	}
+
+	// Blocked interpretation. Vector loads alias the source arrays (no
+	// copy), scalar stack entries live in sval, intermediate chunks in
+	// the pooled scratch arena, and the root micro-op writes its chunk
+	// straight into the destination. Element values are identical to
+	// per-element evaluation because elementwise ops are independent
+	// across elements; on abort the fallback discards the partial
+	// destination, so the abort point within the array is immaterial.
+	scr := fuseScratchPool.Get().(*fuseScratch)
+	var vbuf [ir.MaxFuseOperands][]float64 // nil => scalar entry in sval
+	var sval [ir.MaxFuseOperands]float64
+	aborted := false
+blocks:
+	for base := 0; base < n; base += fuseBlock {
+		bs := n - base
+		if bs > fuseBlock {
+			bs = fuseBlock
+		}
+		sp := 0
+		for j := 0; j < nops; j++ {
+			arg := prog[2*j+1]
+			switch prog[2*j] {
+			case ir.FuseLoadV:
+				if stride[arg] == 0 {
+					vbuf[sp], sval[sp] = nil, data[arg][0]
+				} else {
+					vbuf[sp] = data[arg][base : base+bs]
+				}
+				sp++
+				continue
+			case ir.FuseLoadSF, ir.FuseLoadSI:
+				vbuf[sp], sval[sp] = nil, slots[arg]
+				sp++
+				continue
+			case ir.FuseNeg:
+				x := vbuf[sp-1]
+				if x == nil {
+					sval[sp-1] = -sval[sp-1]
+					continue
+				}
+				o := scr[sp-1][:bs]
+				if j == nops-1 {
+					o = outRe[base : base+bs]
+				}
+				for i := 0; i < bs; i++ {
+					o[i] = -x[i]
+				}
+				vbuf[sp-1] = o
+				continue
+			case ir.FuseMath:
+				fn := c.mathFns[arg]
+				x := vbuf[sp-1]
+				if x == nil {
+					if c.fuseSqrt[arg] && sval[sp-1] < 0 {
+						aborted = true
+						break blocks
+					}
+					sval[sp-1] = fn(sval[sp-1])
+					continue
+				}
+				o := scr[sp-1][:bs]
+				if j == nops-1 {
+					o = outRe[base : base+bs]
+				}
+				if c.fuseSqrt[arg] {
+					for i := 0; i < bs; i++ {
+						if x[i] < 0 {
+							aborted = true
+							break blocks
+						}
+						o[i] = fn(x[i])
+					}
+				} else {
+					for i := 0; i < bs; i++ {
+						o[i] = fn(x[i])
+					}
+				}
+				vbuf[sp-1] = o
+				continue
+			}
+			// binary micro-op: pop two, push one
+			op := prog[2*j]
+			x, y := vbuf[sp-2], vbuf[sp-1]
+			xs, ys := sval[sp-2], sval[sp-1]
+			sp--
+			if x == nil && y == nil {
+				var z float64
+				switch op {
+				case ir.FuseAdd:
+					z = xs + ys
+				case ir.FuseSub:
+					z = xs - ys
+				case ir.FuseMul:
+					z = xs * ys
+				case ir.FuseDiv:
+					z = xs / ys
+				case ir.FusePow:
+					if xs < 0 && ys != math.Trunc(ys) {
+						aborted = true
+						break blocks
+					}
+					z = math.Pow(xs, ys)
+				}
+				if needAcc[j] && allInt[j] && (z != math.Trunc(z) || math.IsInf(z, 0)) {
+					allInt[j] = false
+				}
+				vbuf[sp-1], sval[sp-1] = nil, z
+				continue
+			}
+			o := scr[sp-1][:bs]
+			if j == nops-1 {
+				o = outRe[base : base+bs]
+			}
+			switch op {
+			case ir.FuseAdd:
+				switch {
+				case x == nil:
+					for i := 0; i < bs; i++ {
+						o[i] = xs + y[i]
+					}
+				case y == nil:
+					for i := 0; i < bs; i++ {
+						o[i] = x[i] + ys
+					}
+				default:
+					for i := 0; i < bs; i++ {
+						o[i] = x[i] + y[i]
+					}
+				}
+			case ir.FuseSub:
+				switch {
+				case x == nil:
+					for i := 0; i < bs; i++ {
+						o[i] = xs - y[i]
+					}
+				case y == nil:
+					for i := 0; i < bs; i++ {
+						o[i] = x[i] - ys
+					}
+				default:
+					for i := 0; i < bs; i++ {
+						o[i] = x[i] - y[i]
+					}
+				}
+			case ir.FuseMul:
+				switch {
+				case x == nil:
+					for i := 0; i < bs; i++ {
+						o[i] = xs * y[i]
+					}
+				case y == nil:
+					for i := 0; i < bs; i++ {
+						o[i] = x[i] * ys
+					}
+				default:
+					for i := 0; i < bs; i++ {
+						o[i] = x[i] * y[i]
+					}
+				}
+			case ir.FuseDiv:
+				switch {
+				case x == nil:
+					for i := 0; i < bs; i++ {
+						o[i] = xs / y[i]
+					}
+				case y == nil:
+					for i := 0; i < bs; i++ {
+						o[i] = x[i] / ys
+					}
+				default:
+					for i := 0; i < bs; i++ {
+						o[i] = x[i] / y[i]
+					}
+				}
+			case ir.FusePow:
+				switch {
+				case x == nil:
+					if xs >= 0 {
+						for i := 0; i < bs; i++ {
+							o[i] = math.Pow(xs, y[i])
+						}
+					} else {
+						for i := 0; i < bs; i++ {
+							if y[i] != math.Trunc(y[i]) {
+								aborted = true
+								break blocks
+							}
+							o[i] = math.Pow(xs, y[i])
+						}
+					}
+				case y == nil:
+					if ys == math.Trunc(ys) {
+						for i := 0; i < bs; i++ {
+							o[i] = math.Pow(x[i], ys)
+						}
+					} else {
+						for i := 0; i < bs; i++ {
+							if x[i] < 0 {
+								aborted = true
+								break blocks
+							}
+							o[i] = math.Pow(x[i], ys)
+						}
+					}
+				default:
+					for i := 0; i < bs; i++ {
+						if x[i] < 0 && y[i] != math.Trunc(y[i]) {
+							aborted = true
+							break blocks
+						}
+						o[i] = math.Pow(x[i], y[i])
+					}
+				}
+			}
+			if needAcc[j] && allInt[j] && !chunkAllInt(o) {
+				allInt[j] = false
+			}
+			vbuf[sp-1] = o
+		}
+		if vbuf[0] == nil {
+			// all-scalar program: the result is 1x1
+			outRe[base] = sval[0]
+		}
+	}
+	fuseScratchPool.Put(scr)
+	if aborted {
+		// out is either a fresh draw or the (dead) displaced old value;
+		// either way no live value aliases it, so recycle and redo the
+		// whole statement over boxed values.
+		if out != old {
+			mat.Recycle(out)
+		}
+		return fusedBoxed(c, ctx, prog, ops[:nv], slots, dst, V)
+	}
+
+	// Kind replay: apply each operator's exact promotion rule, using
+	// the integrality accumulators where the generic elementwise loop
+	// would have scanned.
+	var ks [ir.MaxFuseOps]mat.Kind
+	sp = 0
+	for j := 0; j < nops; j++ {
+		switch prog[2*j] {
+		case ir.FuseLoadV:
+			ks[sp] = ops[prog[2*j+1]].Kind()
+			sp++
+		case ir.FuseLoadSF:
+			ks[sp] = mat.Real
+			sp++
+		case ir.FuseLoadSI:
+			ks[sp] = mat.Int
+			sp++
+		case ir.FuseNeg:
+			if ks[sp-1] == mat.Char || ks[sp-1] == mat.Bool {
+				ks[sp-1] = mat.Real
+			}
+		case ir.FuseMath:
+			ks[sp-1] = mat.Real
+		default:
+			k := mat.PromoteKind(ks[sp-2], ks[sp-1])
+			if k == mat.Int || k == mat.Bool {
+				if allInt[j] {
+					k = mat.Int
+				} else {
+					k = mat.Real
+				}
+			}
+			ks[sp-2] = k
+			sp--
+		}
+	}
+	out.SetNumericKind(ks[0])
+
+	V[dst] = out
+	if old != nil && old != out && !old.IsShared() {
+		mat.Recycle(old)
+	}
+	return nil
+}
+
+// fusedBoxed interprets the micro-op program over boxed values through
+// the same mat/builtins entry points the generic instruction chain
+// calls, in the same order — the complex/undefined-operand fallback.
+func fusedBoxed(c *Compiled, ctx *builtins.Context, prog []int32, ops []*mat.Value, slots *[ir.MaxFuseOperands]float64, dst int, V []*mat.Value) error {
+	var stack [ir.MaxFuseOps]*mat.Value
+	sp := 0
+	for j := 0; j < len(prog)/2; j++ {
+		arg := prog[2*j+1]
+		switch prog[2*j] {
+		case ir.FuseLoadV:
+			stack[sp] = ops[arg]
+			sp++
+		case ir.FuseLoadSF:
+			stack[sp] = mat.Scalar(slots[arg])
+			sp++
+		case ir.FuseLoadSI:
+			stack[sp] = mat.IntScalar(slots[arg])
+			sp++
+		case ir.FuseNeg:
+			x := stack[sp-1]
+			if x == nil {
+				return fmt.Errorf("use of undefined value")
+			}
+			v, err := mat.Neg(x)
+			if err != nil {
+				return err
+			}
+			stack[sp-1] = v
+		case ir.FuseMath:
+			x := stack[sp-1]
+			b := c.fuseBs[arg]
+			if b == nil {
+				return fmt.Errorf("unknown builtin %q", c.P.MathFns[arg])
+			}
+			if x == nil {
+				return fmt.Errorf("%s: undefined argument", b.Name)
+			}
+			outs, err := builtins.Call(ctx, b, []*mat.Value{x}, 1)
+			if err != nil {
+				return err
+			}
+			if len(outs) == 0 || outs[0] == nil {
+				stack[sp-1] = mat.Empty()
+			} else {
+				stack[sp-1] = outs[0]
+			}
+		default:
+			x, y := stack[sp-2], stack[sp-1]
+			if x == nil || y == nil {
+				return fmt.Errorf("use of undefined value")
+			}
+			var v *mat.Value
+			var err error
+			switch prog[2*j] {
+			case ir.FuseAdd:
+				v, err = mat.Add(x, y)
+			case ir.FuseSub:
+				v, err = mat.Sub(x, y)
+			case ir.FuseMul:
+				v, err = mat.ElemMul(x, y)
+			case ir.FuseDiv:
+				v, err = mat.ElemDiv(x, y)
+			case ir.FusePow:
+				v, err = mat.ElemPow(x, y)
+			default:
+				err = fmt.Errorf("bad fused micro-op %d", prog[2*j])
+			}
+			if err != nil {
+				return err
+			}
+			stack[sp-2] = v
+			sp--
+		}
+	}
+	old := V[dst]
+	V[dst] = stack[0]
+	if old != nil && old != stack[0] && !old.IsShared() {
+		mat.Recycle(old)
+	}
+	return nil
+}

@@ -47,6 +47,11 @@ type Compiled struct {
 	cmathFns []func(complex128) complex128
 	builtins []*builtins.Builtin
 	vpool    []*mat.Value
+	// Fused-kernel tables, indexed like mathFns: the boxed builtin each
+	// FuseMath micro-op falls back to, and whether it is sqrt (the one
+	// math builtin whose real path promotes negatives to complex).
+	fuseBs   []*builtins.Builtin
+	fuseSqrt []bool
 }
 
 // Prepare resolves the program's name tables.
@@ -59,6 +64,8 @@ func Prepare(p *ir.Prog) (*Compiled, error) {
 		}
 		c.mathFns = append(c.mathFns, f)
 		c.cmathFns = append(c.cmathFns, cmathFn(name))
+		c.fuseBs = append(c.fuseBs, builtins.Lookup(name))
+		c.fuseSqrt = append(c.fuseSqrt, name == "sqrt")
 	}
 	for _, name := range p.Builtins {
 		b := builtins.Lookup(name)
@@ -196,6 +203,7 @@ func Run(c *Compiled, host Host, args []*mat.Value) ([]*mat.Value, error) {
 	ins := p.Ins
 	pc := 0
 	var err error
+	var fuseSlots [ir.MaxFuseOperands]float64
 	for {
 		in := &ins[pc]
 		switch in.Op {
@@ -576,6 +584,13 @@ func Run(c *Compiled, host Host, args []*mat.Value) ([]*mat.Value, error) {
 			}
 		case ir.OpGEMV:
 			if e := gemv(p.Aux, int(in.B), in.Imm, int(in.A), V); e != nil {
+				err = e
+				goto fail
+			}
+		case ir.OpVFuseArgF:
+			fuseSlots[in.A] = F[in.B]
+		case ir.OpVFused:
+			if e := fusedExec(c, ctx, p.Aux, int(in.B), int(in.A), V, &fuseSlots); e != nil {
 				err = e
 				goto fail
 			}
