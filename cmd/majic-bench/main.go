@@ -6,6 +6,7 @@
 //	majic-bench -exp=all -size=paper -bench=dirich,finedif
 //	majic-bench -exp=concurrent -clients=8 -async -workers=4
 //	majic-bench -exp=fig4 -fuse                # fused elementwise kernels
+//	majic-bench -exp=fig4 -threads=4           # 4 dense-kernel worker threads
 //	majic-bench -exp=table1 -cpuprofile=cpu.pb.gz -memprofile=mem.pb.gz
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, table2, sec5, resp,
@@ -25,6 +26,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/harness"
+	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -38,9 +41,23 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent experiment: async compile workers (0 = GOMAXPROCS)")
 	calls := flag.Int("calls", 20, "concurrent experiment: steady-state calls per client")
 	fuse := flag.Bool("fuse", false, "fuse elementwise operator trees into single kernels (with buffer recycling)")
+	threads := flag.Int("threads", 0, "dense-kernel worker threads (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// The results_*.txt files are stdout redirections, so the run
+	// configuration goes in a header and the kernel-runtime counters in
+	// a footer, keeping committed results self-describing.
+	if *threads > 0 {
+		parallel.SetDefaultThreads(*threads)
+	}
+	fmt.Printf("majic-bench: kernel threads %d (GOMAXPROCS %d)\n\n", parallel.DefaultThreads(), runtime.GOMAXPROCS(0))
+	defer func() {
+		ps := mat.ReadPoolStats()
+		fmt.Printf("\nkernel runtime: threads %d, pool workers started %d; buffer pool gets %d hits %d recycles %d\n",
+			parallel.DefaultThreads(), parallel.Workers(), ps.Gets, ps.Hits, ps.Recycles)
+	}()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -76,11 +93,12 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := harness.Config{
-		Size: sz,
-		Reps: *reps,
-		Out:  os.Stdout,
-		Seed: *seed,
-		Fuse: *fuse,
+		Size:    sz,
+		Reps:    *reps,
+		Out:     os.Stdout,
+		Seed:    *seed,
+		Fuse:    *fuse,
+		Threads: *threads,
 	}
 	if *benches != "" {
 		for _, name := range strings.Split(*benches, ",") {
@@ -126,6 +144,7 @@ func main() {
 			Benchmarks:     cfg.Benchmarks,
 			Out:            os.Stdout,
 			Fuse:           *fuse,
+			Threads:        *threads,
 		}
 		run("concurrent", ccfg.Report)
 	case "all":

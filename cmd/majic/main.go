@@ -31,6 +31,7 @@ func main() {
 	async := flag.Bool("async", false, "compile in the background on a worker pool (asynchronous repository)")
 	workers := flag.Int("workers", 0, "async compile workers (0 = GOMAXPROCS; implies nothing unless -async)")
 	fuse := flag.Bool("fuse", false, "fuse elementwise operator trees into single kernels (with buffer recycling)")
+	threads := flag.Int("threads", 0, "dense-kernel worker threads (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	flag.Parse()
 
 	tier, err := parseTier(*tierFlag)
@@ -46,6 +47,7 @@ func main() {
 	e := core.New(core.Options{
 		Tier: tier, Platform: platform, Out: os.Stdout, Seed: *seed,
 		AsyncCompile: *async, CompileWorkers: *workers, FuseElemwise: *fuse,
+		Threads: *threads,
 	})
 	defer e.Close()
 

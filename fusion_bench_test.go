@@ -6,10 +6,12 @@
 package main
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 // fusionChainSrc runs fuseChainReps iterations of three fused chains
@@ -63,6 +65,50 @@ func BenchmarkFusionChain(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := e.Call("fchain", nil, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// fusionParSrc is the parallel-fusion workload: the same chain shape
+// over n = 2*10^5 vectors, far above the fused kernel's parallel grain
+// (fuseGrainBlocks x fuseBlock = 16384 elements), so each fused
+// statement fans its blocks out across the worker pool when threads>1.
+const fusionParSrc = `
+function s = fpchain()
+  n = 200000;
+  a = (1:n) ./ n;
+  b = a + 0.5;
+  c = a .* 2;
+  x = zeros(1, n);
+  for i = 1:10
+    x = x + a .* b - c ./ 2;
+    x = 2 * x + exp(-b);
+  end
+  s = sum(x);
+end`
+
+// BenchmarkParallelFusion sweeps the dense-kernel thread count over the
+// large fused chain. Results are byte-identical across thread counts
+// (the serial-vs-parallel suite pins that); this measures the wall-time
+// effect of chunk-parallel fused execution.
+func BenchmarkParallelFusion(b *testing.B) {
+	for _, threads := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			parallel.SetDefaultThreads(threads)
+			defer parallel.SetDefaultThreads(0)
+			e := core.New(core.Options{Tier: core.TierFalcon, FuseElemwise: true, Seed: 20020617})
+			if err := e.Define(fusionParSrc); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Call("fpchain", nil, 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Call("fpchain", nil, 1); err != nil {
 					b.Fatal(err)
 				}
 			}

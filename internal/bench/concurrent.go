@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 // ConcurrentSet lists the Table 1 benchmarks used for the concurrent
@@ -42,6 +43,11 @@ type ConcurrentConfig struct {
 	// turns on the process-wide recycling buffer pool — the race
 	// detector's stress case for pooled buffers crossing goroutines.
 	Fuse bool
+	// Threads sets the shared engine's dense-kernel worker count
+	// (0 = process default): client goroutines then fan work out to the
+	// internal/parallel pool from inside their calls, the nested-
+	// parallelism stress case for the worker pool.
+	Threads int
 }
 
 // ConcurrentRow is one benchmark's result.
@@ -96,6 +102,7 @@ func (c ConcurrentConfig) runOne(b *Benchmark) (ConcurrentRow, error) {
 		CompileWorkers: c.Workers,
 		Seed:           1,
 		FuseElemwise:   c.Fuse,
+		Threads:        c.Threads,
 	})
 	defer e.Close()
 	if err := e.Define(b.Source(c.Size)); err != nil {
@@ -196,8 +203,12 @@ func (c ConcurrentConfig) Report() error {
 			mode = fmt.Sprintf("async (workers=%d)", workers)
 		}
 	}
-	fmt.Fprintf(c.Out, "Concurrent clients: %d goroutines x shared JIT repository, %s, size %s\n",
-		c.Clients, mode, c.Size)
+	threads := c.Threads
+	if threads <= 0 {
+		threads = parallel.DefaultThreads()
+	}
+	fmt.Fprintf(c.Out, "Concurrent clients: %d goroutines x shared JIT repository, %s, size %s, kernel threads %d\n",
+		c.Clients, mode, c.Size, threads)
 	fmt.Fprintln(c.Out, "=========================================================================================")
 	fmt.Fprintf(c.Out, "%-10s %14s %14s %14s %12s %8s %6s %8s\n",
 		"benchmark", "first(min)", "first(max)", "steady", "calls/s", "inserts", "jobs", "deduped")

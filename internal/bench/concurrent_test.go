@@ -4,6 +4,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"repro/internal/parallel"
 )
 
 // TestConcurrentClientsAsync drives 8 concurrent clients through one
@@ -60,6 +62,32 @@ func TestConcurrentClientsSync(t *testing.T) {
 		if r.CompileJobs != 0 || r.Deduped != 0 {
 			t.Errorf("%s: sync mode used the queue: %+v", r.Bench, r)
 		}
+	}
+}
+
+// TestConcurrentClientsThreaded layers kernel-level parallelism under
+// client-level concurrency: every client call fans dense-kernel work
+// out to the shared internal/parallel pool. Run with -race; the result
+// cross-check in runOne doubles as a thread-count determinism check.
+func TestConcurrentClientsThreaded(t *testing.T) {
+	defer parallel.SetDefaultThreads(0)
+	cfg := ConcurrentConfig{
+		Size:           Small,
+		Clients:        4,
+		Async:          true,
+		Workers:        2,
+		CallsPerClient: 2,
+		Benchmarks:     []string{"cgopt", "sor"},
+		Threads:        4,
+		Fuse:           true,
+		Out:            io.Discard,
+	}
+	rows, err := cfg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
 	}
 }
 

@@ -5,7 +5,11 @@
 // leading dimension, matching the runtime layout of internal/mat.
 package blas
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/parallel"
+)
 
 // Ddot returns x·y over n elements with strides incx, incy.
 func Ddot(n int, x []float64, incx int, y []float64, incy int) float64 {
@@ -86,55 +90,79 @@ func Dnrm2(n int, x []float64, incx int) float64 {
 	return scale * math.Sqrt(ssq)
 }
 
+// gemvGrainFlops is the approximate per-chunk work below which a Dgemv
+// partition is not worth scheduling (the parallel.For serial fallback).
+const gemvGrainFlops = 1 << 15
+
 // Dgemv computes y = alpha*A*x + beta*y (trans=false) or
 // y = alpha*Aᵀ*x + beta*y (trans=true). A is m x n, column-major with
 // leading dimension lda.
+//
+// beta == 0 stores (never reads y), so y may hold garbage — including
+// NaNs from a recycled pool buffer — on entry. There is no quick-skip
+// on zero alpha*x[j] terms: 0*NaN and 0*Inf contributions from A reach
+// y, matching IEEE arithmetic (and the blocked Dgemm).
+//
+// Both partitionings leave every y element's accumulation order
+// unchanged — non-trans splits the rows of y (each row still sums its
+// columns j = 0..n-1 in order), trans splits the independent dot
+// products — so results are byte-for-byte identical for every thread
+// count.
 func Dgemv(trans bool, m, n int, alpha float64, a []float64, lda int, x []float64, beta float64, y []float64) {
-	if !trans {
-		if beta != 1 {
-			Dscal(m, beta, y, 1)
+	if alpha == 0 {
+		// A and x are not referenced (BLAS convention, matching Dgemm's
+		// alpha == 0 path); only the beta prologue applies.
+		yn := m
+		if trans {
+			yn = n
 		}
-		for j := 0; j < n; j++ {
-			t := alpha * x[j]
-			if t == 0 {
-				continue
-			}
-			col := a[j*lda : j*lda+m]
-			for i := 0; i < m; i++ {
-				y[i] += t * col[i]
+		for i := 0; i < yn; i++ {
+			if beta == 0 {
+				y[i] = 0
+			} else {
+				y[i] *= beta
 			}
 		}
 		return
 	}
-	for j := 0; j < n; j++ {
-		col := a[j*lda : j*lda+m]
-		var s float64
-		for i := 0; i < m; i++ {
-			s += col[i] * x[i]
-		}
-		y[j] = alpha*s + beta*y[j]
+	if !trans {
+		grain := 1 + gemvGrainFlops/(2*n+1)
+		parallel.For(0, m, grain, func(lo, hi int) {
+			yw := y[lo:hi]
+			switch beta {
+			case 0:
+				for i := range yw {
+					yw[i] = 0
+				}
+			case 1:
+			default:
+				for i := range yw {
+					yw[i] *= beta
+				}
+			}
+			for j := 0; j < n; j++ {
+				t := alpha * x[j]
+				col := a[j*lda+lo : j*lda+hi]
+				for i, v := range col {
+					yw[i] += t * v
+				}
+			}
+		})
+		return
 	}
-}
-
-// Dgemm computes C = alpha*A*B + beta*C, with A m x k, B k x n,
-// C m x n, all column-major with leading dimensions lda, ldb, ldc.
-func Dgemm(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
-	for j := 0; j < n; j++ {
-		ccol := c[j*ldc : j*ldc+m]
-		if beta != 1 {
-			for i := range ccol {
-				ccol[i] *= beta
-			}
-		}
-		for l := 0; l < k; l++ {
-			t := alpha * b[j*ldb+l]
-			if t == 0 {
-				continue
-			}
-			acol := a[l*lda : l*lda+m]
+	grain := 1 + gemvGrainFlops/(2*m+1)
+	parallel.For(0, n, grain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			col := a[j*lda : j*lda+m]
+			var s float64
 			for i := 0; i < m; i++ {
-				ccol[i] += t * acol[i]
+				s += col[i] * x[i]
+			}
+			if beta == 0 {
+				y[j] = alpha * s
+			} else {
+				y[j] = alpha*s + beta*y[j]
 			}
 		}
-	}
+	})
 }

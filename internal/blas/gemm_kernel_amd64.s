@@ -1,0 +1,94 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuSupportsAVX2FMA() bool
+//
+// CPUID.1:ECX must report FMA (bit 12), OSXSAVE (bit 27) and AVX
+// (bit 28); XCR0 must enable XMM+YMM state (bits 1-2); CPUID.7:EBX
+// must report AVX2 (bit 5).
+TEXT ·cpuSupportsAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<12 | 1<<27 | 1<<28), R8
+	CMPL R8, $(1<<12 | 1<<27 | 1<<28)
+	JNE  no
+
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func gemmKernel8x4(kc int64, ap, bp, c *float64, ldc int64)
+//
+// Register plan: Y0-Y7 hold the 8x4 C tile (two YMM per column),
+// Y8-Y9 the 8 packed A rows of the current k step, Y10-Y13 the four
+// broadcast B values. C is loaded once, accumulated over kc steps in
+// increasing-k order, and stored once.
+TEXT ·gemmKernel8x4(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), DX
+	SHLQ $3, DX                 // ldc in bytes
+
+	LEAQ (DI)(DX*1), R8         // column 1
+	LEAQ (DI)(DX*2), R9         // column 2
+	LEAQ (R8)(DX*2), R10        // column 3
+
+	VMOVUPD (DI), Y0
+	VMOVUPD 32(DI), Y1
+	VMOVUPD (R8), Y2
+	VMOVUPD 32(R8), Y3
+	VMOVUPD (R9), Y4
+	VMOVUPD 32(R9), Y5
+	VMOVUPD (R10), Y6
+	VMOVUPD 32(R10), Y7
+
+loop:
+	VMOVUPD      (SI), Y8       // a[0:4]
+	VMOVUPD      32(SI), Y9     // a[4:8]
+	VBROADCASTSD (BX), Y10      // b[0]
+	VBROADCASTSD 8(BX), Y11     // b[1]
+	VBROADCASTSD 16(BX), Y12    // b[2]
+	VBROADCASTSD 24(BX), Y13    // b[3]
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+	ADDQ         $64, SI
+	ADDQ         $32, BX
+	DECQ         CX
+	JNE          loop
+
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	VMOVUPD Y2, (R8)
+	VMOVUPD Y3, 32(R8)
+	VMOVUPD Y4, (R9)
+	VMOVUPD Y5, 32(R9)
+	VMOVUPD Y6, (R10)
+	VMOVUPD Y7, 32(R10)
+	VZEROUPPER
+	RET

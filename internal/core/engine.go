@@ -18,6 +18,7 @@ import (
 	"repro/internal/compilequeue"
 	"repro/internal/interp"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/parser"
 )
 
@@ -133,6 +134,17 @@ type Options struct {
 	// CompileWorkers bounds the async pool's concurrently executing
 	// compile jobs. 0 means GOMAXPROCS. Ignored unless AsyncCompile.
 	CompileWorkers int
+
+	// Threads sets the dense-kernel worker count (internal/parallel):
+	// blocked dgemm/dgemv, fused elementwise kernels, and the generic
+	// elementwise loops partition their work across this many threads.
+	// 0 inherits the process default (GOMAXPROCS unless some engine
+	// already set it); 1 forces the serial code paths. Because every
+	// parallel kernel preserves per-element operation order, results
+	// are byte-for-byte identical for every Threads value. The setting
+	// is process-wide (the worker pool is shared), so the last engine
+	// to set a non-zero value wins — mirroring mat.EnablePool.
+	Threads int
 }
 
 // Engine is the public entry point: a MATLAB workspace plus the code
@@ -177,6 +189,9 @@ func New(opts Options) *Engine {
 	if opts.FuseElemwise {
 		mat.EnablePool()
 	}
+	if opts.Threads > 0 {
+		parallel.SetDefaultThreads(opts.Threads)
+	}
 	if opts.AsyncCompile {
 		workers := opts.CompileWorkers
 		if workers <= 0 {
@@ -215,6 +230,17 @@ func (e *Engine) QueueStats() compilequeue.Stats {
 
 // Options returns the engine's configuration.
 func (e *Engine) Options() Options { return e.opts }
+
+// EffectiveThreads returns the dense-kernel thread count this engine's
+// kernels actually run with: its Threads option if set, otherwise the
+// process default (which another engine or SetDefaultThreads may have
+// configured).
+func (e *Engine) EffectiveThreads() int {
+	if e.opts.Threads > 0 {
+		return e.opts.Threads
+	}
+	return parallel.DefaultThreads()
+}
 
 // Context implements interp.Host.
 func (e *Engine) Context() *builtins.Context { return e.ctx }

@@ -33,6 +33,10 @@ type Config struct {
 	// fused-kernel experiment. Off by default: paper-mode numbers use
 	// the one-library-call-per-operator execution model.
 	Fuse bool
+	// Threads sets the dense-kernel worker count on every engine the
+	// harness builds (0 = process default). Results are byte-identical
+	// across thread counts; only timings change.
+	Threads int
 }
 
 func (c Config) reps() int {
@@ -74,6 +78,9 @@ func (c Config) newEngine(b *bench.Benchmark, opts core.Options) (*core.Engine, 
 	opts.Seed = c.seed()
 	if c.Fuse {
 		opts.FuseElemwise = true
+	}
+	if c.Threads > 0 {
+		opts.Threads = c.Threads
 	}
 	e := core.New(opts)
 	if err := e.Define(b.Source(c.Size)); err != nil {

@@ -3,6 +3,10 @@ package mat
 import (
 	"math"
 	"math/cmplx"
+	"sync/atomic"
+
+	"repro/internal/blas"
+	"repro/internal/parallel"
 )
 
 // This file implements the polymorphic generic operators — the analog of
@@ -24,8 +28,15 @@ func binShape(a, b *Value) (rows, cols int, err error) {
 	}
 }
 
+// elemGrain is the minimum per-chunk element count for parallel
+// elementwise loops; below it parallel.For runs the loop inline.
+const elemGrain = 1 << 14
+
 // elementwise applies fr (real) or fc (complex) pointwise with scalar
-// broadcasting. resKind overrides the promoted kind when non-zero kindSet.
+// broadcasting. Each output element depends only on its own index, so
+// the loops chunk-parallelize over disjoint ranges with byte-identical
+// results for every thread count; the integrality scan AND-merges
+// per-chunk flags (order-independent).
 func elementwise(a, b *Value, fr func(x, y float64) float64, fc func(x, y complex128) complex128) (*Value, error) {
 	rows, cols, err := binShape(a, b)
 	if err != nil {
@@ -35,11 +46,13 @@ func elementwise(a, b *Value, fr func(x, y float64) float64, fc func(x, y comple
 	n := rows * cols
 	if k == Complex {
 		out := NewKind(Complex, rows, cols)
-		for i := 0; i < n; i++ {
-			z := fc(bcastC(a, i), bcastC(b, i))
-			out.re[i] = real(z)
-			out.im[i] = imag(z)
-		}
+		parallel.For(0, n, elemGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				z := fc(bcastC(a, i), bcastC(b, i))
+				out.re[i] = real(z)
+				out.im[i] = imag(z)
+			}
+		})
 		return out.Demote(), nil
 	}
 	out := NewRealUninit(rows, cols)
@@ -48,22 +61,30 @@ func elementwise(a, b *Value, fr func(x, y float64) float64, fc func(x, y comple
 		// need exactness (e.g. plus on ints) keep Int kind. Integrality is
 		// tracked inside the main loop rather than by re-scanning the
 		// finished result.
-		allInt := true
-		for i := 0; i < n; i++ {
-			z := fr(bcastR(a, i), bcastR(b, i))
-			out.re[i] = z
-			if z != math.Trunc(z) || math.IsInf(z, 0) {
-				allInt = false
+		var notInt atomic.Bool
+		parallel.For(0, n, elemGrain, func(lo, hi int) {
+			allInt := true
+			for i := lo; i < hi; i++ {
+				z := fr(bcastR(a, i), bcastR(b, i))
+				out.re[i] = z
+				if z != math.Trunc(z) || math.IsInf(z, 0) {
+					allInt = false
+				}
 			}
-		}
-		if allInt {
+			if !allInt {
+				notInt.Store(true)
+			}
+		})
+		if !notInt.Load() {
 			out.kind = Int
 		}
 		return out, nil
 	}
-	for i := 0; i < n; i++ {
-		out.re[i] = fr(bcastR(a, i), bcastR(b, i))
-	}
+	parallel.For(0, n, elemGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.re[i] = fr(bcastR(a, i), bcastR(b, i))
+		}
+	})
 	return out, nil
 }
 
@@ -159,12 +180,11 @@ func Mul(a, b *Value) (*Value, error) {
 	if a.kind == Complex || b.kind == Complex {
 		ac, bc := a.ToComplex(), b.ToComplex()
 		out := NewKind(Complex, a.rows, b.cols)
+		// No bkj == 0 quick-skip: 0*NaN and 0*Inf contributions from A
+		// must reach the result (IEEE semantics), as in blas.Dgemm.
 		for j := 0; j < b.cols; j++ {
 			for k := 0; k < a.cols; k++ {
 				bkj := complex(bc.re[j*b.rows+k], bc.im[j*b.rows+k])
-				if bkj == 0 {
-					continue
-				}
 				for i := 0; i < a.rows; i++ {
 					z := complex(ac.re[k*a.rows+i], ac.im[k*a.rows+i]) * bkj
 					out.re[j*a.rows+i] += real(z)
@@ -174,21 +194,11 @@ func Mul(a, b *Value) (*Value, error) {
 		}
 		return out.Demote(), nil
 	}
-	out := New(a.rows, b.cols)
-	// jki order over column-major data; the same kernel blas.Dgemm uses.
-	for j := 0; j < b.cols; j++ {
-		ocol := out.re[j*a.rows : (j+1)*a.rows]
-		for k := 0; k < a.cols; k++ {
-			bkj := b.re[j*b.rows+k]
-			if bkj == 0 {
-				continue
-			}
-			acol := a.re[k*a.rows : (k+1)*a.rows]
-			for i := range ocol {
-				ocol[i] += acol[i] * bkj
-			}
-		}
-	}
+	// The real product runs on the blocked, parallel dgemm. beta == 0
+	// stores, so the uninitialized (possibly pool-recycled) result
+	// buffer is never read.
+	out := NewRealUninit(a.rows, b.cols)
+	blas.Dgemm(a.rows, b.cols, a.cols, 1, a.re, a.rows, b.re, b.rows, 0, out.re, a.rows)
 	return out, nil
 }
 

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/builtins"
 	"repro/internal/ir"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 // The kernel runs blocked: the micro-op program is dispatched once per
@@ -16,6 +18,10 @@ import (
 // ops x (n / fuseBlock) instead of ops x n, while intermediates stay in
 // L1 instead of becoming full-size temporaries.
 const fuseBlock = 512
+
+// fuseGrainBlocks is the minimum number of blocks per parallel chunk
+// (~16k elements); kernels smaller than that run inline on the caller.
+const fuseGrainBlocks = 32
 
 // fuseScratch holds one intermediate chunk per postfix stack slot. The
 // stack is never deeper than the leaf count, which codegen caps at
@@ -188,19 +194,102 @@ func fusedExec(c *Compiled, ctx *builtins.Context, aux []int32, at, dst int, V [
 		allInt[j] = true
 	}
 
-	// Blocked interpretation. Vector loads alias the source arrays (no
-	// copy), scalar stack entries live in sval, intermediate chunks in
-	// the pooled scratch arena, and the root micro-op writes its chunk
-	// straight into the destination. Element values are identical to
-	// per-element evaluation because elementwise ops are independent
-	// across elements; on abort the fallback discards the partial
-	// destination, so the abort point within the array is immaterial.
+	// Blocked interpretation, chunk-parallel over block ranges. Vector
+	// loads alias the source arrays (no copy), scalar stack entries live
+	// in sval, intermediate chunks in a per-worker pooled scratch arena,
+	// and the root micro-op writes its chunk straight into the
+	// destination. Element values are identical to per-element (and so
+	// to serial) evaluation because elementwise ops are independent
+	// across elements and each block is owned by exactly one worker —
+	// writing in place stays safe in parallel because every micro-op
+	// reads and writes only its own block's index range. On abort the
+	// fallback discards the partial destination, so the abort point —
+	// and which other workers' blocks completed — is immaterial; the
+	// per-worker integrality flags AND-merge, which is order-
+	// independent. Threads == 1 runs the block loop inline, exactly the
+	// serial code path.
+	nblocks := (n + fuseBlock - 1) / fuseBlock
+	aborted := false
+	if nblocks <= fuseGrainBlocks || parallel.DefaultThreads() == 1 {
+		// Serial: interpret every block inline on this goroutine. This
+		// branch must not touch the parallel dispatch — its closure
+		// captures would heap-allocate per statement, and the fused alloc
+		// budget is one pool draw.
+		var abort atomic.Bool
+		fuseRunRange(c, prog, nops, n, 0, nblocks, &data, &stride, slots, &needAcc, &allInt, outRe, &abort)
+		aborted = abort.Load()
+	} else {
+		aborted = fuseRunParallel(c, prog, nops, n, nblocks, data, stride, *slots, needAcc, &allInt, outRe)
+	}
+	if aborted {
+		// out is either a fresh draw or the (dead) displaced old value;
+		// either way no live value aliases it, so recycle and redo the
+		// whole statement over boxed values.
+		if out != old {
+			mat.Recycle(out)
+		}
+		return fusedBoxed(c, ctx, prog, ops[:nv], slots, dst, V)
+	}
+
+	// Kind replay: apply each operator's exact promotion rule, using
+	// the integrality accumulators where the generic elementwise loop
+	// would have scanned.
+	var ks [ir.MaxFuseOps]mat.Kind
+	sp = 0
+	for j := 0; j < nops; j++ {
+		switch prog[2*j] {
+		case ir.FuseLoadV:
+			ks[sp] = ops[prog[2*j+1]].Kind()
+			sp++
+		case ir.FuseLoadSF:
+			ks[sp] = mat.Real
+			sp++
+		case ir.FuseLoadSI:
+			ks[sp] = mat.Int
+			sp++
+		case ir.FuseNeg:
+			if ks[sp-1] == mat.Char || ks[sp-1] == mat.Bool {
+				ks[sp-1] = mat.Real
+			}
+		case ir.FuseMath:
+			ks[sp-1] = mat.Real
+		default:
+			k := mat.PromoteKind(ks[sp-2], ks[sp-1])
+			if k == mat.Int || k == mat.Bool {
+				if allInt[j] {
+					k = mat.Int
+				} else {
+					k = mat.Real
+				}
+			}
+			ks[sp-2] = k
+			sp--
+		}
+	}
+	out.SetNumericKind(ks[0])
+
+	V[dst] = out
+	if old != nil && old != out && !old.IsShared() {
+		mat.Recycle(old)
+	}
+	return nil
+}
+
+// fuseRunRange interprets blocks [blo, bhi) of the fused micro-op
+// program: the serial engine for one worker's contiguous block range.
+// It mutates only localInt, abort, the scratch chunks it draws, and the
+// [blo*fuseBlock, bhi*fuseBlock) range of outRe, so disjoint ranges run
+// concurrently; none of the pointer arguments are retained.
+func fuseRunRange(c *Compiled, prog []int32, nops, n, blo, bhi int, data *[ir.MaxFuseOperands][]float64, stride *[ir.MaxFuseOperands]int, slots *[ir.MaxFuseOperands]float64, needAcc, localInt *[ir.MaxFuseOps]bool, outRe []float64, abort *atomic.Bool) {
 	scr := fuseScratchPool.Get().(*fuseScratch)
 	var vbuf [ir.MaxFuseOperands][]float64 // nil => scalar entry in sval
 	var sval [ir.MaxFuseOperands]float64
-	aborted := false
 blocks:
-	for base := 0; base < n; base += fuseBlock {
+	for bi := blo; bi < bhi; bi++ {
+		if abort.Load() {
+			break
+		}
+		base := bi * fuseBlock
 		bs := n - base
 		if bs > fuseBlock {
 			bs = fuseBlock
@@ -241,7 +330,7 @@ blocks:
 				x := vbuf[sp-1]
 				if x == nil {
 					if c.fuseSqrt[arg] && sval[sp-1] < 0 {
-						aborted = true
+						abort.Store(true)
 						break blocks
 					}
 					sval[sp-1] = fn(sval[sp-1])
@@ -254,7 +343,7 @@ blocks:
 				if c.fuseSqrt[arg] {
 					for i := 0; i < bs; i++ {
 						if x[i] < 0 {
-							aborted = true
+							abort.Store(true)
 							break blocks
 						}
 						o[i] = fn(x[i])
@@ -285,13 +374,13 @@ blocks:
 					z = xs / ys
 				case ir.FusePow:
 					if xs < 0 && ys != math.Trunc(ys) {
-						aborted = true
+						abort.Store(true)
 						break blocks
 					}
 					z = math.Pow(xs, ys)
 				}
-				if needAcc[j] && allInt[j] && (z != math.Trunc(z) || math.IsInf(z, 0)) {
-					allInt[j] = false
+				if needAcc[j] && localInt[j] && (z != math.Trunc(z) || math.IsInf(z, 0)) {
+					localInt[j] = false
 				}
 				vbuf[sp-1], sval[sp-1] = nil, z
 				continue
@@ -371,7 +460,7 @@ blocks:
 					} else {
 						for i := 0; i < bs; i++ {
 							if y[i] != math.Trunc(y[i]) {
-								aborted = true
+								abort.Store(true)
 								break blocks
 							}
 							o[i] = math.Pow(xs, y[i])
@@ -385,7 +474,7 @@ blocks:
 					} else {
 						for i := 0; i < bs; i++ {
 							if x[i] < 0 {
-								aborted = true
+								abort.Store(true)
 								break blocks
 							}
 							o[i] = math.Pow(x[i], ys)
@@ -394,15 +483,15 @@ blocks:
 				default:
 					for i := 0; i < bs; i++ {
 						if x[i] < 0 && y[i] != math.Trunc(y[i]) {
-							aborted = true
+							abort.Store(true)
 							break blocks
 						}
 						o[i] = math.Pow(x[i], y[i])
 					}
 				}
 			}
-			if needAcc[j] && allInt[j] && !chunkAllInt(o) {
-				allInt[j] = false
+			if needAcc[j] && localInt[j] && !chunkAllInt(o) {
+				localInt[j] = false
 			}
 			vbuf[sp-1] = o
 		}
@@ -412,58 +501,32 @@ blocks:
 		}
 	}
 	fuseScratchPool.Put(scr)
-	if aborted {
-		// out is either a fresh draw or the (dead) displaced old value;
-		// either way no live value aliases it, so recycle and redo the
-		// whole statement over boxed values.
-		if out != old {
-			mat.Recycle(out)
-		}
-		return fusedBoxed(c, ctx, prog, ops[:nv], slots, dst, V)
-	}
+}
 
-	// Kind replay: apply each operator's exact promotion rule, using
-	// the integrality accumulators where the generic elementwise loop
-	// would have scanned.
-	var ks [ir.MaxFuseOps]mat.Kind
-	sp = 0
-	for j := 0; j < nops; j++ {
-		switch prog[2*j] {
-		case ir.FuseLoadV:
-			ks[sp] = ops[prog[2*j+1]].Kind()
-			sp++
-		case ir.FuseLoadSF:
-			ks[sp] = mat.Real
-			sp++
-		case ir.FuseLoadSI:
-			ks[sp] = mat.Int
-			sp++
-		case ir.FuseNeg:
-			if ks[sp-1] == mat.Char || ks[sp-1] == mat.Bool {
-				ks[sp-1] = mat.Real
-			}
-		case ir.FuseMath:
-			ks[sp-1] = mat.Real
-		default:
-			k := mat.PromoteKind(ks[sp-2], ks[sp-1])
-			if k == mat.Int || k == mat.Bool {
-				if allInt[j] {
-					k = mat.Int
-				} else {
-					k = mat.Real
-				}
-			}
-			ks[sp-2] = k
-			sp--
+// fuseRunParallel fans the block range out over the worker pool. State
+// arrives by value so nothing in the caller's frame is captured by the
+// worker closure — only this function's copies escape, and only on
+// this large-kernel path (the serial path allocates nothing).
+func fuseRunParallel(c *Compiled, prog []int32, nops, n, nblocks int, data [ir.MaxFuseOperands][]float64, stride [ir.MaxFuseOperands]int, slots [ir.MaxFuseOperands]float64, needAcc [ir.MaxFuseOps]bool, allInt *[ir.MaxFuseOps]bool, outRe []float64) bool {
+	var abort atomic.Bool
+	var intMu sync.Mutex
+	merged := *allInt
+	parallel.For(0, nblocks, fuseGrainBlocks, func(blo, bhi int) {
+		var localInt [ir.MaxFuseOps]bool
+		for j := 0; j < nops; j++ {
+			localInt[j] = true
 		}
-	}
-	out.SetNumericKind(ks[0])
-
-	V[dst] = out
-	if old != nil && old != out && !old.IsShared() {
-		mat.Recycle(old)
-	}
-	return nil
+		fuseRunRange(c, prog, nops, n, blo, bhi, &data, &stride, &slots, &needAcc, &localInt, outRe, &abort)
+		intMu.Lock()
+		for j := 0; j < nops; j++ {
+			if !localInt[j] {
+				merged[j] = false
+			}
+		}
+		intMu.Unlock()
+	})
+	*allInt = merged
+	return abort.Load()
 }
 
 // fusedBoxed interprets the micro-op program over boxed values through
