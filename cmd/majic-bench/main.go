@@ -5,18 +5,24 @@
 //	majic-bench -exp=fig4 -reps=5
 //	majic-bench -exp=all -size=paper -bench=dirich,finedif
 //	majic-bench -exp=concurrent -clients=8 -async -workers=4
+//	majic-bench -exp=server -clients=8 -sessions=2 -json
 //	majic-bench -exp=fig4 -fuse                # fused elementwise kernels
 //	majic-bench -exp=fig4 -threads=4           # 4 dense-kernel worker threads
 //	majic-bench -exp=table1 -cpuprofile=cpu.pb.gz -memprofile=mem.pb.gz
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, table2, sec5, resp,
-// concurrent, all. The concurrent experiment is not part of "all": it
-// measures the asynchronous compilation service (first-call latency
-// and steady-state throughput for M goroutines sharing one engine
-// repository), not a figure from the paper.
+// concurrent, server, all. The concurrent and server experiments are
+// not part of "all": concurrent measures the asynchronous compilation
+// service (first-call latency and steady-state throughput for M
+// goroutines sharing one engine repository); server drives a live
+// majicd daemon with N clients x M sessions replaying fig4 programs
+// and compares shared- vs isolated-repository hit rates and latency
+// quantiles. With -json, fig4 also writes BENCH_fig4.json and server
+// writes BENCH_server.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,13 +31,29 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/mat"
 	"repro/internal/parallel"
+	"repro/internal/server"
 )
 
+// writeJSONFile writes a machine-readable result file next to the
+// results_*.txt redirections.
+func writeJSONFile(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|table2|sec5|resp|concurrent|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|table2|sec5|resp|concurrent|server|all")
 	size := flag.String("size", "medium", "problem size preset: small|medium|paper")
 	reps := flag.Int("reps", 3, "best-of repetitions (paper used 10)")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default all)")
@@ -39,7 +61,10 @@ func main() {
 	clients := flag.Int("clients", 8, "concurrent experiment: client goroutines sharing one engine")
 	async := flag.Bool("async", false, "concurrent experiment: enable the async compilation service")
 	workers := flag.Int("workers", 0, "concurrent experiment: async compile workers (0 = GOMAXPROCS)")
-	calls := flag.Int("calls", 20, "concurrent experiment: steady-state calls per client")
+	calls := flag.Int("calls", 20, "concurrent experiment: steady-state calls per client; server experiment: replay calls per session")
+	sessions := flag.Int("sessions", 2, "server experiment: sessions per client")
+	addr := flag.String("addr", "", "server experiment: external majicd address (default: in-process daemons)")
+	jsonOut := flag.Bool("json", false, "also write BENCH_fig4.json / BENCH_server.json for those experiments")
 	fuse := flag.Bool("fuse", false, "fuse elementwise operator trees into single kernels (with buffer recycling)")
 	threads := flag.Int("threads", 0, "dense-kernel worker threads (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -121,7 +146,20 @@ func main() {
 	case "table1":
 		run("table1", cfg.Table1)
 	case "fig4":
-		run("fig4", cfg.Fig4)
+		if *jsonOut {
+			run("fig4", func() error {
+				rows, err := cfg.SpeedupChart(core.PlatformSPARC)
+				if err != nil {
+					return err
+				}
+				harness.PrintSpeedups(os.Stdout, "Figure 4: Performance on the SPARC platform (speedup vs interpreter)", rows)
+				return writeJSONFile("BENCH_fig4.json", map[string]any{
+					"size": sz.String(), "reps": cfg.Reps, "rows": harness.SpeedupsJSON(rows),
+				})
+			})
+		} else {
+			run("fig4", cfg.Fig4)
+		}
 	case "fig5":
 		run("fig5", cfg.Fig5)
 	case "fig6":
@@ -147,6 +185,30 @@ func main() {
 			Threads:        *threads,
 		}
 		run("concurrent", ccfg.Report)
+	case "server":
+		lcfg := server.LoadConfig{
+			Size:              sz,
+			Clients:           *clients,
+			SessionsPerClient: *sessions,
+			CallsPerSession:   *calls,
+			Benchmarks:        cfg.Benchmarks,
+			Addr:              *addr,
+			Out:               os.Stdout,
+			Async:             *async,
+			Workers:           *workers,
+			Fuse:              *fuse,
+			Threads:           *threads,
+		}
+		run("server", func() error {
+			rep, err := lcfg.Report()
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return writeJSONFile("BENCH_server.json", rep)
+			}
+			return nil
+		})
 	case "all":
 		run("table1", cfg.Table1)
 		run("fig4", cfg.Fig4)

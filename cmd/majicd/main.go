@@ -1,0 +1,114 @@
+// Command majicd is the multi-session evaluation daemon: an HTTP/JSON
+// server hosting many concurrent MATLAB sessions that share one
+// process-wide code repository and compile queue, so one session's JIT
+// compile warms every other session's locator.
+//
+//	majicd -addr :8757 -async -workers 4
+//
+// Protocol (JSON bodies throughout):
+//
+//	POST   /sessions                        → 201 {"id":"s1"}
+//	POST   /sessions/{id}/eval              {"src":"y = qmr(A,b);","deadline_ms":500}
+//	                                        → 200 {"output":"...","elapsed_us":123}
+//	                                        | 408 deadline kill | 422 program error
+//	GET    /sessions/{id}/workspace/{name}  → 200 {"rows":..,"cols":..,"re":[..]}
+//	PUT    /sessions/{id}/workspace/{name}  ← the same shape → 204
+//	DELETE /sessions/{id}                   → 204
+//	GET    /metrics                         → repository/queue/latency counters
+//	GET    /healthz, /debug/pprof/*
+//
+// SIGINT/SIGTERM drain in-flight evaluations, close every session and
+// the shared compile queue, then exit 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8757", "listen address")
+	tier := flag.String("tier", "jit", "execution tier for session engines: interp|mcc|falcon|jit|spec")
+	async := flag.Bool("async", false, "enable the asynchronous compilation service on the shared library")
+	workers := flag.Int("workers", 0, "async compile workers (0 = GOMAXPROCS)")
+	fuse := flag.Bool("fuse", false, "fuse elementwise operator trees into single kernels")
+	threads := flag.Int("threads", 0, "dense-kernel worker threads (0 = GOMAXPROCS)")
+	repoMax := flag.Int("repo-max", 0, "max compiled entries per function in the shared repository (0 = unbounded)")
+	maxSessions := flag.Int("max-sessions", 256, "session table cap")
+	maxEvals := flag.Int("max-evals", 0, "max concurrently executing evals (0 = 2x GOMAXPROCS)")
+	idleTTL := flag.Duration("idle-ttl", 15*time.Minute, "evict sessions idle longer than this")
+	deadline := flag.Duration("deadline", 60*time.Second, "default and maximum per-eval deadline")
+	isolated := flag.Bool("isolated", false, "give every session a private repository (no sharing)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	t, err := core.ParseTier(*tier)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *threads > 0 {
+		parallel.SetDefaultThreads(*threads)
+	}
+
+	srv := server.New(server.Options{
+		Engine: core.Options{
+			Tier:         t,
+			FuseElemwise: *fuse,
+			Threads:      *threads,
+		},
+		Library: core.LibraryOptions{
+			AsyncCompile:   *async,
+			CompileWorkers: *workers,
+			RepoMaxEntries: *repoMax,
+		},
+		Isolated:           *isolated,
+		MaxSessions:        *maxSessions,
+		MaxConcurrentEvals: *maxEvals,
+		IdleTTL:            *idleTTL,
+		MaxDeadline:        *deadline,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	mode := "shared repository"
+	if *isolated {
+		mode = "isolated per-session repositories"
+	}
+	fmt.Printf("majicd: listening on %s (tier %s, %s, async=%v, max-sessions %d)\n",
+		*addr, t, mode, *async, *maxSessions)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "majicd: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Printf("majicd: %s — draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "majicd: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "majicd: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("majicd: bye")
+}

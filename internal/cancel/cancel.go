@@ -1,0 +1,45 @@
+// Package cancel provides the cooperative-interruption primitive shared
+// by the interpreter and the VM: an atomic flag an engine raises (from a
+// deadline timer, a Ctrl-C handler, or the evaluation daemon's request
+// watchdog) and execution engines poll at loop back-edges. Cooperative
+// checks at back-edges are the classical safepoint placement: every
+// non-terminating MATLAB program must take a back-edge, so a raised
+// flag aborts `while 1; end` within one loop iteration while straight-
+// line code pays nothing.
+package cancel
+
+import "sync/atomic"
+
+// Flag is a raisable, clearable interruption flag. The zero value is
+// ready to use (not raised). All methods are safe for concurrent use.
+type Flag struct {
+	raised atomic.Bool
+}
+
+// Raise requests interruption: the next back-edge check in any
+// execution running against this flag returns ErrInterrupted.
+func (f *Flag) Raise() { f.raised.Store(true) }
+
+// Clear lowers the flag so subsequent executions run normally.
+func (f *Flag) Clear() { f.raised.Store(false) }
+
+// Raised reports whether interruption has been requested. It is a
+// single atomic load, cheap enough for loop back-edges.
+func (f *Flag) Raised() bool { return f.raised.Load() }
+
+// Err is the sentinel returned by interrupted executions. Callers
+// distinguish a deadline kill from a program error with errors.Is.
+type interruptErr struct{}
+
+func (interruptErr) Error() string { return "execution interrupted" }
+
+// ErrInterrupted reports that execution was aborted at a back-edge
+// because the engine's cancel flag was raised.
+var ErrInterrupted error = interruptErr{}
+
+// Checker is implemented by hosts (engines) that expose a cancel flag;
+// the interpreter and VM discover it by type assertion so hosts without
+// one (tests, tools) keep working unchanged.
+type Checker interface {
+	CancelFlag() *Flag
+}

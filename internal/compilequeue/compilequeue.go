@@ -42,11 +42,11 @@ func (t *Ticket) TryDone() bool {
 
 // Stats counts pool traffic.
 type Stats struct {
-	Submitted int // unique jobs accepted (queued or run inline)
-	Deduped   int // requests coalesced onto an in-flight job
-	Completed int // jobs finished (with or without error)
-	Errors    int // jobs that returned a non-nil error
-	Inline    int // jobs run on the caller's goroutine (pool closed)
+	Submitted int `json:"submitted"` // unique jobs accepted (queued or run inline)
+	Deduped   int `json:"deduped"`   // requests coalesced onto an in-flight job
+	Completed int `json:"completed"` // jobs finished (with or without error)
+	Errors    int `json:"errors"`    // jobs that returned a non-nil error
+	Inline    int `json:"inline"`    // jobs run on the caller's goroutine (pool closed)
 }
 
 type job struct {

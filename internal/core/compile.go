@@ -44,7 +44,7 @@ func (e *Engine) compile(fn *ast.Function, sig types.Signature, po pipelineOpts)
 	}
 	g := cfg.Build(work.Body)
 	tbl := disambig.Analyze(g, work.Ins, disambig.ResolverFunc(func(name string) bool {
-		return e.funcs[name] != nil
+		return e.LookupFunction(name) != nil
 	}))
 	atomic.AddInt64(&e.timing.Disambig, time.Since(t0).Nanoseconds())
 	if tbl.HasAmbiguous {
@@ -152,7 +152,7 @@ func (e *Engine) speculate(fn *ast.Function) (types.Signature, error) {
 	}
 	g := cfg.Build(work.Body)
 	tbl := disambig.Analyze(g, work.Ins, disambig.ResolverFunc(func(name string) bool {
-		return e.funcs[name] != nil
+		return e.LookupFunction(name) != nil
 	}))
 	if tbl.HasAmbiguous {
 		return nil, &codegen.ErrUnsupported{Reason: "ambiguous or undefined symbols"}

@@ -8,13 +8,12 @@ package core
 import (
 	"fmt"
 	"io"
-	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/builtins"
+	"repro/internal/cancel"
 	"repro/internal/compilequeue"
 	"repro/internal/interp"
 	"repro/internal/mat"
@@ -59,6 +58,23 @@ func (t Tier) String() string {
 		return "spec"
 	}
 	return fmt.Sprintf("Tier(%d)", uint8(t))
+}
+
+// ParseTier maps a tier name (as printed by String) back to a Tier.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "interp":
+		return TierInterp, nil
+	case "mcc":
+		return TierMCC, nil
+	case "falcon":
+		return TierFalcon, nil
+	case "jit":
+		return TierJIT, nil
+	case "spec":
+		return TierSpec, nil
+	}
+	return 0, fmt.Errorf("unknown tier %q (interp|mcc|falcon|jit|spec)", s)
 }
 
 // Platform selects the simulated backend-quality profile used to
@@ -106,6 +122,23 @@ type Options struct {
 	// so the baseline paper-mode measurements keep the
 	// one-library-call-per-operator execution model.
 	FuseElemwise bool
+	// Library attaches the engine to a shared code library (function
+	// sources + compiled-code repository + compile pool) instead of
+	// constructing a private one. Engines sharing a Library share
+	// compiled code: one engine's JIT miss populates entries every
+	// other engine's locator can hit, and a redefinition by any engine
+	// invalidates for all of them (generation-counted, so stale
+	// in-flight compiles never resurrect). The evaluation daemon uses
+	// this to amortize compilation across sessions. When nil (the
+	// default), the engine builds a private library from AsyncCompile /
+	// CompileWorkers / RepoMaxEntries and closes it on Close.
+	Library *Library
+
+	// RepoMaxEntries caps the live compiled entries per function in the
+	// engine's private repository (least-hit eviction; 0 = unbounded).
+	// Ignored when Library is set — the shared library's own cap rules.
+	RepoMaxEntries int
+
 	// JITBackendOpts runs the backend optimization passes inside the JIT
 	// pipeline too — the paper's §5 what-if experiment ("room for future
 	// enhancements of the JIT compiler"): compile time is still counted,
@@ -148,21 +181,23 @@ type Options struct {
 }
 
 // Engine is the public entry point: a MATLAB workspace plus the code
-// repository and compilation machinery behind it.
+// library (function sources, compiled-code repository, compilation
+// machinery) behind it.
 type Engine struct {
 	ctx  *builtins.Context
 	opts Options
-	// fmu guards funcs: with AsyncCompile, compile jobs resolve
-	// functions from worker goroutines while the front end registers
-	// redefinitions.
-	fmu       sync.RWMutex
-	funcs     map[string]*ast.Function
+	// lib is the code library: private by default, shared across
+	// engines when Options.Library is set. ownLib records ownership so
+	// Close never shuts down a shared library's compile pool.
+	lib       *Library
+	ownLib    bool
 	globals   map[string]*mat.Value
 	workspace *interp.Env
 	in        *interp.Interp
 	repo      *repoState
-	// queue is the async compilation pool (nil in synchronous mode).
-	queue *compilequeue.Pool
+	// cancelFlag is the cooperative-interruption flag polled at
+	// interpreter and VM loop back-edges; Interrupt raises it.
+	cancelFlag cancel.Flag
 	// phase timing for Figure 6; accumulated with atomics because async
 	// mode compiles on worker goroutines.
 	timing PhaseTimes
@@ -180,8 +215,17 @@ func New(opts Options) *Engine {
 	e := &Engine{
 		ctx:     ctx,
 		opts:    opts,
-		funcs:   make(map[string]*ast.Function),
 		globals: make(map[string]*mat.Value),
+	}
+	if opts.Library != nil {
+		e.lib = opts.Library
+	} else {
+		e.lib = NewLibrary(LibraryOptions{
+			AsyncCompile:   opts.AsyncCompile,
+			CompileWorkers: opts.CompileWorkers,
+			RepoMaxEntries: opts.RepoMaxEntries,
+		})
+		e.ownLib = true
 	}
 	e.workspace = interp.NewEnv(e.globals)
 	e.in = interp.New(e)
@@ -192,22 +236,17 @@ func New(opts Options) *Engine {
 	if opts.Threads > 0 {
 		parallel.SetDefaultThreads(opts.Threads)
 	}
-	if opts.AsyncCompile {
-		workers := opts.CompileWorkers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		e.queue = compilequeue.New(workers)
-	}
 	return e
 }
 
-// Close shuts down the engine's background compilation pool (a no-op
-// in synchronous mode). Queued jobs finish first; calls made after
-// Close compile inline, so the engine stays usable.
+// Close shuts down the engine's private background compilation pool (a
+// no-op in synchronous mode, or when the engine is attached to a shared
+// Library — closing that is the library owner's job). Queued jobs
+// finish first; calls made after Close compile inline, so the engine
+// stays usable.
 func (e *Engine) Close() {
-	if e.queue != nil {
-		e.queue.Close()
+	if e.ownLib {
+		e.lib.Close()
 	}
 }
 
@@ -215,18 +254,32 @@ func (e *Engine) Close() {
 // published (or been dropped as stale). A no-op in synchronous mode.
 // Benchmarks use it to separate first-call latency from steady state.
 func (e *Engine) Drain() {
-	if e.queue != nil {
-		e.queue.Drain()
-	}
+	e.lib.Drain()
 }
 
 // QueueStats returns the async pool's counters (zero in sync mode).
 func (e *Engine) QueueStats() compilequeue.Stats {
-	if e.queue == nil {
-		return compilequeue.Stats{}
-	}
-	return e.queue.Stats()
+	return e.lib.QueueStats()
 }
+
+// Library returns the engine's code library (shared or private).
+func (e *Engine) Library() *Library { return e.lib }
+
+// CancelFlag exposes the engine's interruption flag; the interpreter
+// and VM discover it through the cancel.Checker interface and poll it
+// at loop back-edges.
+func (e *Engine) CancelFlag() *cancel.Flag { return &e.cancelFlag }
+
+// Interrupt requests cooperative cancellation of whatever the engine is
+// executing: the current evaluation aborts with cancel.ErrInterrupted
+// at its next loop back-edge or function call. Safe from any goroutine
+// (deadline timers, signal handlers). The flag stays raised until
+// ResetInterrupt, so an eval that races the raise still aborts.
+func (e *Engine) Interrupt() { e.cancelFlag.Raise() }
+
+// ResetInterrupt lowers the interruption flag so the engine can run
+// again.
+func (e *Engine) ResetInterrupt() { e.cancelFlag.Clear() }
 
 // Options returns the engine's configuration.
 func (e *Engine) Options() Options { return e.opts }
@@ -248,20 +301,12 @@ func (e *Engine) Context() *builtins.Context { return e.ctx }
 // LookupFunction implements interp.Host. It is safe to call from any
 // goroutine (compile jobs resolve functions from the worker pool).
 func (e *Engine) LookupFunction(name string) *ast.Function {
-	e.fmu.RLock()
-	defer e.fmu.RUnlock()
-	return e.funcs[name]
+	return e.lib.Lookup(name)
 }
 
 // Functions returns the names of all registered user functions.
 func (e *Engine) Functions() []string {
-	e.fmu.RLock()
-	defer e.fmu.RUnlock()
-	out := make([]string, 0, len(e.funcs))
-	for n := range e.funcs {
-		out = append(out, n)
-	}
-	return out
+	return e.lib.Names()
 }
 
 // Define registers the functions found in src with the repository (the
@@ -282,13 +327,7 @@ func (e *Engine) Define(src string) error {
 }
 
 func (e *Engine) registerFunction(fn *ast.Function) {
-	// Publish the new body before advancing the repository generation:
-	// an async job that observes the new generation is then guaranteed
-	// to resolve the new body (see invokeAsync's ordering note).
-	e.fmu.Lock()
-	e.funcs[fn.Name] = fn
-	e.fmu.Unlock()
-	e.repo.invalidate(fn.Name)
+	e.lib.register(fn)
 }
 
 // Precompile runs the repository's speculative ahead-of-time
@@ -299,13 +338,7 @@ func (e *Engine) Precompile() {
 	if e.opts.Tier != TierSpec {
 		return
 	}
-	e.fmu.RLock()
-	fns := make([]*ast.Function, 0, len(e.funcs))
-	for _, fn := range e.funcs {
-		fns = append(fns, fn)
-	}
-	e.fmu.RUnlock()
-	for _, fn := range fns {
+	for _, fn := range e.lib.snapshot() {
 		has := false
 		for _, entry := range e.repo.r.Entries(fn.Name) {
 			if entry.Speculative {
@@ -370,6 +403,12 @@ func (e *Engine) Call(name string, args []*mat.Value, nout int) ([]*mat.Value, e
 // as do EvalString and the workspace accessors (one MATLAB workspace,
 // like one MATLAB session).
 func (e *Engine) CallFunction(name string, args []*mat.Value, nout int) ([]*mat.Value, error) {
+	// Call-entry safepoint: loops poll the flag at back-edges, and this
+	// check covers loop-free infinite recursion (every recursive cycle
+	// contains a call).
+	if e.cancelFlag.Raised() {
+		return nil, cancel.ErrInterrupted
+	}
 	fn := e.LookupFunction(name)
 	if fn == nil {
 		return nil, fmt.Errorf("undefined function %q", name)

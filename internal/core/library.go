@@ -1,0 +1,139 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/compilequeue"
+	"repro/internal/repo"
+)
+
+// Library is the shared code store behind one or more engines: the
+// registered function sources, the compiled-code repository, and
+// (optionally) the asynchronous compile pool. A single-session engine
+// owns a private library; the evaluation daemon creates one process-
+// wide Library and hands it to every session engine via
+// Options.Library, so one session's JIT compile of qmr(A,b) warms every
+// other session.
+//
+// Sharing contract: the library models one snooped source directory,
+// exactly like the paper's repository. Function definitions are global
+// to the library — when any engine (re)defines f, the new body is
+// published to all engines and the repository generation for f advances,
+// so in-flight compile jobs against the old body publish into the void
+// (repo.InsertAt drops them) and no engine can ever run code compiled
+// from another generation's source. Workspaces remain per-engine; only
+// code is shared.
+type Library struct {
+	fmu   sync.RWMutex
+	funcs map[string]*ast.Function
+	repo  *repo.Repository
+	// queue is the async compile pool (nil in synchronous mode). It is
+	// owned by the library: engines submit jobs but never close it.
+	queue *compilequeue.Pool
+}
+
+// LibraryOptions configure a shared library.
+type LibraryOptions struct {
+	// AsyncCompile starts a background compile pool; every engine
+	// attached to the library then compiles repository misses on the
+	// pool (single-flight deduplicated across all of them) instead of
+	// inline on the calling goroutine.
+	AsyncCompile bool
+	// CompileWorkers bounds the pool (0 = GOMAXPROCS). Ignored unless
+	// AsyncCompile.
+	CompileWorkers int
+	// RepoMaxEntries caps the live compiled entries per function name,
+	// evicting the least-hit entry on overflow. 0 = unbounded. A
+	// long-lived daemon sets a cap so signature churn cannot grow the
+	// repository without bound.
+	RepoMaxEntries int
+}
+
+// NewLibrary creates a shared code library.
+func NewLibrary(opts LibraryOptions) *Library {
+	l := &Library{
+		funcs: make(map[string]*ast.Function),
+		repo:  repo.NewBounded(opts.RepoMaxEntries),
+	}
+	if opts.AsyncCompile {
+		workers := opts.CompileWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		l.queue = compilequeue.New(workers)
+	}
+	return l
+}
+
+// Close shuts down the library's compile pool (no-op in sync mode).
+// Queued jobs finish first; jobs submitted later run inline, so
+// attached engines keep working synchronously.
+func (l *Library) Close() {
+	if l.queue != nil {
+		l.queue.Close()
+	}
+}
+
+// Drain blocks until all in-flight background compile jobs have
+// published (or been dropped as stale). A no-op in synchronous mode.
+func (l *Library) Drain() {
+	if l.queue != nil {
+		l.queue.Drain()
+	}
+}
+
+// Repo exposes the shared repository (stats, dumps, tests).
+func (l *Library) Repo() *repo.Repository { return l.repo }
+
+// QueueStats returns the compile pool's counters (zero in sync mode).
+func (l *Library) QueueStats() compilequeue.Stats {
+	if l.queue == nil {
+		return compilequeue.Stats{}
+	}
+	return l.queue.Stats()
+}
+
+// Lookup resolves a registered function by name (nil if absent). Safe
+// from any goroutine.
+func (l *Library) Lookup(name string) *ast.Function {
+	l.fmu.RLock()
+	defer l.fmu.RUnlock()
+	return l.funcs[name]
+}
+
+// Names returns the registered function names, sorted.
+func (l *Library) Names() []string {
+	l.fmu.RLock()
+	out := make([]string, 0, len(l.funcs))
+	for n := range l.funcs {
+		out = append(out, n)
+	}
+	l.fmu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// snapshot returns the registered functions (for Precompile sweeps).
+func (l *Library) snapshot() []*ast.Function {
+	l.fmu.RLock()
+	defer l.fmu.RUnlock()
+	out := make([]*ast.Function, 0, len(l.funcs))
+	for _, fn := range l.funcs {
+		out = append(out, fn)
+	}
+	return out
+}
+
+// register publishes a (re)definition. The new body is published before
+// the repository generation advances: an async job that observes the
+// new generation is then guaranteed to resolve the new body (see
+// invokeAsync's ordering note).
+func (l *Library) register(fn *ast.Function) {
+	l.fmu.Lock()
+	l.funcs[fn.Name] = fn
+	l.fmu.Unlock()
+	l.repo.Invalidate(fn.Name)
+}

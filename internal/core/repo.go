@@ -38,10 +38,11 @@ type repoState struct {
 }
 
 func newRepoState(e *Engine) *repoState {
-	return &repoState{e: e, r: repo.New()}
+	return &repoState{e: e, r: e.lib.repo}
 }
 
-// Repo exposes the repository (stats for the harness and majicc).
+// Repo exposes the repository (stats for the harness and majicc). With
+// a shared Library this is the library's process-wide repository.
 func (e *Engine) Repo() *repo.Repository { return e.repo.r }
 
 func (r *repoState) invalidate(name string) {
@@ -55,14 +56,14 @@ func (r *repoState) invalidate(name string) {
 // flight key prevents duplicate speculative jobs for one source
 // generation.
 func (r *repoState) precompile(fn *ast.Function) {
-	if r.e.queue == nil {
+	if r.e.lib.queue == nil {
 		r.precompileSync(fn)
 		return
 	}
 	name := fn.Name
 	gen := r.r.Generation(name)
 	key := fmt.Sprintf("spec\x00%s\x00%d", name, gen)
-	r.e.queue.Do(key, func() error {
+	r.e.lib.queue.Do(key, func() error {
 		fn := r.e.LookupFunction(name)
 		if fn == nil {
 			return nil
@@ -124,7 +125,7 @@ func (r *repoState) invoke(fn *ast.Function, args []*mat.Value, nout int) ([]*ma
 		po = pipelineOpts{optimize: e.opts.JITBackendOpts}
 	}
 
-	if e.queue != nil {
+	if e.lib.queue != nil {
 		return r.invokeAsync(fn, sig, csig, po, args, nout)
 	}
 	return r.invokeSync(fn, sig, csig, po, args, nout)
@@ -176,7 +177,7 @@ func (r *repoState) invokeAsync(fn *ast.Function, sig, csig types.Signature, po 
 	gen := r.r.Generation(name)
 	key := fmt.Sprintf("jit\x00%s\x00%s\x00%d", name, csig.Key(), gen)
 	arity := len(sig)
-	ticket, _ := e.queue.Do(key, func() error {
+	ticket, _ := e.lib.queue.Do(key, func() error {
 		return r.compileJob(name, csig, po, arity, gen)
 	})
 
@@ -269,10 +270,10 @@ func (r *repoState) maybeUpgrade(fn *ast.Function, entry *repo.Entry) {
 		return
 	}
 	name := fn.Name
-	if r.e.queue != nil {
+	if r.e.lib.queue != nil {
 		gen := r.r.Generation(name)
 		key := fmt.Sprintf("up\x00%s\x00%s\x00%d", name, entry.Sig.Key(), gen)
-		r.e.queue.Do(key, func() error {
+		r.e.lib.queue.Do(key, func() error {
 			r.upgrade(name, entry)
 			return nil
 		})

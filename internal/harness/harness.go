@@ -207,6 +207,37 @@ func PrintSpeedups(w io.Writer, title string, rows []Speedup) {
 	fmt.Fprintln(w)
 }
 
+// SpeedupRowJSON is the machine-readable shape of one Speedup row
+// (the BENCH_fig4.json payload rows).
+type SpeedupRowJSON struct {
+	Bench    string             `json:"bench"`
+	InterpUS int64              `json:"interp_us"`
+	TimesUS  map[string]int64   `json:"times_us"`
+	Speedup  map[string]float64 `json:"speedup"`
+}
+
+// SpeedupsJSON converts figure rows for JSON output, keying tiers by
+// their printed names.
+func SpeedupsJSON(rows []Speedup) []SpeedupRowJSON {
+	out := make([]SpeedupRowJSON, 0, len(rows))
+	for _, r := range rows {
+		j := SpeedupRowJSON{
+			Bench:    r.Bench,
+			InterpUS: r.Interp.Microseconds(),
+			TimesUS:  map[string]int64{},
+			Speedup:  map[string]float64{},
+		}
+		for tier, d := range r.Times {
+			j.TimesUS[tier.String()] = d.Microseconds()
+		}
+		for tier, s := range r.Speedup {
+			j.Speedup[tier.String()] = s
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
 // logBar renders a log10 bar between 0.1x and 1000x.
 func logBar(s float64) string {
 	if s <= 0 {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/builtins"
+	"repro/internal/cancel"
 	"repro/internal/mat"
 )
 
@@ -32,10 +33,29 @@ type Host interface {
 // Interp evaluates MATLAB ASTs.
 type Interp struct {
 	host Host
+	// cancel is the host's interruption flag (nil when the host has
+	// none). It is polled at loop back-edges so a raised flag aborts
+	// non-terminating programs within one iteration.
+	cancel *cancel.Flag
 }
 
 // New returns an interpreter bound to host.
-func New(host Host) *Interp { return &Interp{host: host} }
+func New(host Host) *Interp {
+	in := &Interp{host: host}
+	if c, ok := host.(cancel.Checker); ok {
+		in.cancel = c.CancelFlag()
+	}
+	return in
+}
+
+// checkCancel is the back-edge safepoint: it returns ErrInterrupted
+// when the host's cancel flag is raised.
+func (in *Interp) checkCancel() error {
+	if in.cancel != nil && in.cancel.Raised() {
+		return cancel.ErrInterrupted
+	}
+	return nil
+}
 
 // Env is a dynamic symbol table: one per workspace or function frame.
 type Env struct {
@@ -169,6 +189,9 @@ func (in *Interp) execStmt(s ast.Stmt, env *Env) (ctl, error) {
 
 	case *ast.While:
 		for {
+			if err := in.checkCancel(); err != nil {
+				return ctlNone, posErr(x.Cond.Pos(), err)
+			}
 			v, err := in.eval(x.Cond, env)
 			if err != nil {
 				return ctlNone, posErr(x.Cond.Pos(), err)
@@ -285,6 +308,9 @@ func (in *Interp) execFor(x *ast.For, env *Env) (ctl, error) {
 		// agree bit for bit.
 		n := int(math.Floor((hi-lo)/step + 1e-10))
 		for k := 0; k <= n; k++ {
+			if err := in.checkCancel(); err != nil {
+				return ctlNone, posErr(x.P, err)
+			}
 			v := lo + float64(k)*step
 			env.Bind(x.Var, mat.Scalar(v))
 			c, err := in.execBlock(x.Body, env)
@@ -306,6 +332,9 @@ func (in *Interp) execFor(x *ast.For, env *Env) (ctl, error) {
 	}
 	// General form: iterate over columns.
 	for c := 0; c < iter.Cols(); c++ {
+		if err := in.checkCancel(); err != nil {
+			return ctlNone, posErr(x.P, err)
+		}
 		col := mat.NewKind(iter.Kind(), iter.Rows(), 1)
 		for r := 0; r < iter.Rows(); r++ {
 			col.SetAt(r, 0, iter.At(r, c))

@@ -42,9 +42,9 @@ func PoolEnabled() bool { return poolOn.Load() }
 
 // PoolStats is cumulative pool traffic, for tests and profiling.
 type PoolStats struct {
-	Gets     uint64 // allocation requests routed through the pool
-	Hits     uint64 // requests satisfied by a recycled buffer
-	Recycles uint64 // buffers returned to the pool
+	Gets     uint64 `json:"gets"`     // allocation requests routed through the pool
+	Hits     uint64 `json:"hits"`     // requests satisfied by a recycled buffer
+	Recycles uint64 `json:"recycles"` // buffers returned to the pool
 }
 
 // ReadPoolStats returns a snapshot of the counters.

@@ -66,13 +66,16 @@ func (e *Entry) addHit() { atomic.AddInt64(&e.hits, 1) }
 
 // Stats counts repository traffic.
 type Stats struct {
-	Lookups      int
-	Hits         int
-	Misses       int
-	Inserts      int
-	SpecHits     int // hits on speculative entries
-	Invalidation int
-	StaleDrops   int // async publishes dropped by a generation mismatch
+	Lookups      int `json:"lookups"`
+	Hits         int `json:"hits"`
+	Misses       int `json:"misses"`
+	Inserts      int `json:"inserts"`
+	SpecHits     int `json:"spec_hits"` // hits on speculative entries
+	Invalidation int `json:"invalidations"`
+	StaleDrops   int `json:"stale_drops"` // async publishes dropped by a generation mismatch
+	Evictions    int `json:"evictions"`   // entries evicted by the per-function cap
+	Functions    int `json:"functions"`   // functions with at least one live entry (snapshot)
+	Entries      int `json:"entries"`     // live compiled entries across all functions (snapshot)
 }
 
 // Repository is the signature-keyed code database.
@@ -81,11 +84,34 @@ type Repository struct {
 	funcs map[string][]*Entry
 	gens  map[string]uint64
 	stats Stats
+	// maxPerFunc caps the live entries per function name; 0 means
+	// unbounded (the single-session default). A long-lived daemon sets
+	// a cap so pathological signature churn (one compiled version per
+	// distinct constant argument, before widening kicks in) cannot grow
+	// the repository without bound.
+	maxPerFunc int
 }
 
-// New returns an empty repository.
+// New returns an empty, unbounded repository.
 func New() *Repository {
 	return &Repository{funcs: map[string][]*Entry{}, gens: map[string]uint64{}}
+}
+
+// NewBounded returns a repository that keeps at most maxPerFunc entries
+// per function, evicting the least-hit (oldest on ties) entry when an
+// insert would exceed the cap. maxPerFunc <= 0 means unbounded.
+func NewBounded(maxPerFunc int) *Repository {
+	r := New()
+	r.maxPerFunc = maxPerFunc
+	return r
+}
+
+// MaxEntriesPerFunction returns the per-function entry cap (0 =
+// unbounded).
+func (r *Repository) MaxEntriesPerFunction() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.maxPerFunc
 }
 
 // Lookup returns the best safe entry for an invocation signature, or
@@ -173,6 +199,33 @@ func (r *Repository) InsertAt(name string, e *Entry, gen uint64) bool {
 func (r *Repository) insertLocked(name string, e *Entry) {
 	r.stats.Inserts++
 	r.funcs[name] = append(r.funcs[name], e)
+	if r.maxPerFunc > 0 && len(r.funcs[name]) > r.maxPerFunc {
+		r.evictLocked(name, e)
+	}
+}
+
+// evictLocked drops the least-hit entry for name (oldest wins a tie),
+// sparing the just-inserted entry keep — a fresh entry always has zero
+// hits, so without the exemption every insert at the cap would evict
+// itself and the repository could never turn over its working set.
+func (r *Repository) evictLocked(name string, keep *Entry) {
+	entries := r.funcs[name]
+	victim := -1
+	var victimHits int64
+	for i, e := range entries {
+		if e == keep {
+			continue
+		}
+		h := e.Hits()
+		if victim == -1 || h < victimHits {
+			victim, victimHits = i, h
+		}
+	}
+	if victim == -1 {
+		return
+	}
+	r.funcs[name] = append(entries[:victim], entries[victim+1:]...)
+	r.stats.Evictions++
 }
 
 // Replace swaps a published entry for its recompiled upgrade, carrying
@@ -234,11 +287,17 @@ func (r *Repository) SameKindsDifferentDetail(name string, q types.Signature) bo
 	return false
 }
 
-// Stats returns a copy of the counters.
+// Stats returns a copy of the counters plus a snapshot of the live
+// function and entry counts (the daemon's /metrics surface).
 func (r *Repository) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.stats
+	s := r.stats
+	s.Functions = len(r.funcs)
+	for _, es := range r.funcs {
+		s.Entries += len(es)
+	}
+	return s
 }
 
 // ResetStats clears the counters.

@@ -230,3 +230,61 @@ func TestConcurrentLookupEntriesHits(t *testing.T) {
 		t.Fatalf("hits = %d, want %d", entries[0].Hits(), 8*200)
 	}
 }
+
+// TestBoundedEviction pins the daemon-safety cap: a bounded repository
+// never holds more than maxPerFunc entries per function, evicting the
+// least-hit entry (oldest on ties), and counts evictions.
+func TestBoundedEviction(t *testing.T) {
+	r := NewBounded(3)
+	mk := func(v float64) *Entry {
+		return &Entry{Sig: types.Signature{intScalar(v)}, Quality: QualityJIT}
+	}
+	hot := mk(1)
+	r.Insert("f", hot)
+	// Serve hits so the first entry is the most valuable.
+	for i := 0; i < 5; i++ {
+		if e := r.Lookup("f", types.Signature{intScalar(1)}); e != hot {
+			t.Fatal("expected hit on the hot entry")
+		}
+	}
+	warm := mk(2)
+	r.Insert("f", warm)
+	r.Lookup("f", types.Signature{intScalar(2)})
+	cold := mk(3)
+	r.Insert("f", cold) // at cap, zero hits
+	// Next insert must evict cold (least hits), not the fresh entry.
+	fresh := mk(4)
+	r.Insert("f", fresh)
+	entries := r.Entries("f")
+	if len(entries) != 3 {
+		t.Fatalf("want 3 entries at cap, got %d", len(entries))
+	}
+	for _, e := range entries {
+		if e == cold {
+			t.Fatal("least-hit entry survived eviction")
+		}
+	}
+	for _, want := range []*Entry{hot, warm, fresh} {
+		found := false
+		for _, e := range entries {
+			if e == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("entry %v missing after eviction", want.Sig)
+		}
+	}
+	st := r.Stats()
+	if st.Evictions != 1 || st.Entries != 3 || st.Functions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Unbounded repositories never evict.
+	u := New()
+	for i := 0; i < 10; i++ {
+		u.Insert("g", mk(float64(i)))
+	}
+	if st := u.Stats(); st.Evictions != 0 || st.Entries != 10 {
+		t.Fatalf("unbounded stats = %+v", st)
+	}
+}

@@ -1,0 +1,440 @@
+// Load generator for the server experiment: N client goroutines × M
+// sessions each replay fig4 benchmark programs against a live majicd
+// over HTTP, reporting client-observed latency quantiles and the
+// repository hit rate. Run twice — shared library vs isolated
+// per-session libraries — it quantifies the daemon's amortization
+// story: sessions replaying the same programs present identical
+// signatures, so one session's JIT compile warms every other session's
+// locator only when the repository is shared.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// LoadConfig drives the majic-bench -exp=server experiment.
+type LoadConfig struct {
+	Size bench.Size
+	// Clients is the number of concurrent client goroutines (default 8).
+	Clients int
+	// SessionsPerClient is M: how many sessions each client creates and
+	// round-robins over (default 2).
+	SessionsPerClient int
+	// CallsPerSession is the replay length per session (default 10).
+	CallsPerSession int
+	// Benchmarks selects the replayed programs (default
+	// bench.ConcurrentSet); sessions are assigned benchmarks
+	// round-robin.
+	Benchmarks []string
+	// Addr targets an external daemon ("host:port" or full URL). Empty
+	// runs both arms against in-process servers on 127.0.0.1:0.
+	Addr string
+	Out  io.Writer
+
+	// Engine/library knobs for the in-process arms.
+	Async   bool
+	Workers int
+	Fuse    bool
+	Threads int
+}
+
+func (c LoadConfig) defaults() LoadConfig {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.SessionsPerClient <= 0 {
+		c.SessionsPerClient = 2
+	}
+	if c.CallsPerSession <= 0 {
+		c.CallsPerSession = 10
+	}
+	if len(c.Benchmarks) == 0 {
+		c.Benchmarks = bench.ConcurrentSet
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// LoadArm is one arm's aggregate result.
+type LoadArm struct {
+	Mode       string  `json:"mode"` // "shared" | "isolated" | "external"
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	P50US      int64   `json:"p50_us"`
+	P95US      int64   `json:"p95_us"`
+	P99US      int64   `json:"p99_us"`
+	MeanUS     int64   `json:"mean_us"`
+	WallMS     int64   `json:"wall_ms"`
+	EvalsPerS  float64 `json:"evals_per_sec"`
+	RepoLookup int     `json:"repo_lookups"`
+	RepoHits   int     `json:"repo_hits"`
+	RepoInsert int     `json:"repo_inserts"`
+	HitRate    float64 `json:"hit_rate"`
+	QueueJobs  int     `json:"queue_jobs"`
+	QueueDedup int     `json:"queue_deduped"`
+}
+
+// LoadReport is the experiment result (the BENCH_server.json payload).
+type LoadReport struct {
+	Clients           int       `json:"clients"`
+	SessionsPerClient int       `json:"sessions_per_client"`
+	CallsPerSession   int       `json:"calls_per_session"`
+	Size              string    `json:"size"`
+	Benchmarks        []string  `json:"benchmarks"`
+	Async             bool      `json:"async"`
+	Arms              []LoadArm `json:"arms"`
+}
+
+// loadClient is a minimal HTTP client for the daemon protocol.
+type loadClient struct {
+	base string
+	c    *http.Client
+}
+
+func (lc *loadClient) do(method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, lc.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := lc.c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %s %s: %w", method, path, err)
+		}
+	}
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, fmt.Errorf("%s %s: HTTP %d: %s", method, path, resp.StatusCode, raw)
+	}
+	return resp.StatusCode, nil
+}
+
+func (lc *loadClient) createSession() (string, error) {
+	var v struct {
+		ID string `json:"id"`
+	}
+	if _, err := lc.do("POST", "/sessions", nil, &v); err != nil {
+		return "", err
+	}
+	return v.ID, nil
+}
+
+func (lc *loadClient) eval(id, src string) error {
+	_, err := lc.do("POST", "/sessions/"+id+"/eval", evalRequest{Src: src}, nil)
+	return err
+}
+
+// sessionPlan is one session's replay assignment.
+type sessionPlan struct {
+	b    *bench.Benchmark
+	call string // "y = fn(arg1, ..., argk);"
+}
+
+// setupSession creates a session, installs the plan's arguments (and,
+// when the session owns a private library, the program source), and
+// returns the session id.
+func (c LoadConfig) setupSession(lc *loadClient, p sessionPlan, defineHere bool) (string, error) {
+	id, err := lc.createSession()
+	if err != nil {
+		return "", err
+	}
+	if defineHere {
+		if err := lc.eval(id, p.b.Source(c.Size)); err != nil {
+			return "", fmt.Errorf("define %s: %w", p.b.Name, err)
+		}
+	}
+	for i, a := range p.b.Args(c.Size) {
+		wv := workspaceValue{
+			Name: fmt.Sprintf("arg%d", i+1),
+			Rows: a.Rows(), Cols: a.Cols(), Kind: a.Kind().String(),
+		}
+		if a.Kind() == mat.Char {
+			wv.Text = a.Text()
+		} else {
+			wv.Re = a.Re()
+			wv.Im = a.Im()
+		}
+		path := fmt.Sprintf("/sessions/%s/workspace/arg%d", id, i+1)
+		if _, err := lc.do("PUT", path, wv, nil); err != nil {
+			return "", fmt.Errorf("bind arg%d for %s: %w", i+1, p.b.Name, err)
+		}
+	}
+	return id, nil
+}
+
+func (c LoadConfig) plans() []sessionPlan {
+	var out []sessionPlan
+	total := c.Clients * c.SessionsPerClient
+	for i := 0; i < total; i++ {
+		b := bench.ByName(c.Benchmarks[i%len(c.Benchmarks)])
+		nargs := len(b.Args(c.Size))
+		call := "y = " + b.Fn
+		if nargs > 0 {
+			call += "("
+			for k := 1; k <= nargs; k++ {
+				if k > 1 {
+					call += ", "
+				}
+				call += fmt.Sprintf("arg%d", k)
+			}
+			call += ")"
+		}
+		out = append(out, sessionPlan{b: b, call: call + ";"})
+	}
+	return out
+}
+
+// runArm replays the workload against base and aggregates latencies.
+func (c LoadConfig) runArm(mode, base string, shared bool) (LoadArm, error) {
+	lc := &loadClient{base: base, c: &http.Client{Timeout: 5 * time.Minute}}
+	arm := LoadArm{Mode: mode}
+	plans := c.plans()
+
+	// Shared arm: one setup session plays the snooped source directory,
+	// defining every program once. Isolated sessions each define their
+	// own copy — that is the point of the control arm.
+	if shared {
+		id, err := lc.createSession()
+		if err != nil {
+			return arm, err
+		}
+		defined := map[string]bool{}
+		for _, p := range plans {
+			if defined[p.b.Name] {
+				continue
+			}
+			defined[p.b.Name] = true
+			if err := lc.eval(id, p.b.Source(c.Size)); err != nil {
+				return arm, fmt.Errorf("define %s: %w", p.b.Name, err)
+			}
+		}
+		if _, err := lc.do("DELETE", "/sessions/"+id, nil, nil); err != nil {
+			return arm, err
+		}
+	}
+
+	type clientStats struct {
+		lat  []time.Duration
+		errs int
+		err  error // fatal (setup) error
+	}
+	stats := make([]clientStats, c.Clients)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	t0 := time.Now()
+	for ci := 0; ci < c.Clients; ci++ {
+		done.Add(1)
+		go func(ci int) {
+			defer done.Done()
+			st := &stats[ci]
+			ids := make([]string, c.SessionsPerClient)
+			myPlans := make([]sessionPlan, c.SessionsPerClient)
+			for si := 0; si < c.SessionsPerClient; si++ {
+				p := plans[ci*c.SessionsPerClient+si]
+				id, err := c.setupSession(lc, p, !shared)
+				if err != nil {
+					st.err = err
+					return
+				}
+				ids[si], myPlans[si] = id, p
+			}
+			start.Wait()
+			// Replay: round-robin over this client's sessions so the
+			// interleaving exercises cross-session locator traffic.
+			for k := 0; k < c.CallsPerSession; k++ {
+				for si := 0; si < c.SessionsPerClient; si++ {
+					r0 := time.Now()
+					err := lc.eval(ids[si], myPlans[si].call)
+					st.lat = append(st.lat, time.Since(r0))
+					if err != nil {
+						st.errs++
+					}
+				}
+			}
+			for _, id := range ids {
+				lc.do("DELETE", "/sessions/"+id, nil, nil)
+			}
+		}(ci)
+	}
+	start.Done()
+	done.Wait()
+	wall := time.Since(t0)
+
+	var lat []time.Duration
+	for i := range stats {
+		if stats[i].err != nil {
+			return arm, fmt.Errorf("client %d: %w", i, stats[i].err)
+		}
+		arm.Errors += stats[i].errs
+		lat = append(lat, stats[i].lat...)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	arm.Requests = len(lat)
+	arm.WallMS = wall.Milliseconds()
+	if wall > 0 {
+		arm.EvalsPerS = float64(len(lat)) / wall.Seconds()
+	}
+	if n := len(lat); n > 0 {
+		var sum time.Duration
+		for _, d := range lat {
+			sum += d
+		}
+		arm.MeanUS = (sum / time.Duration(n)).Microseconds()
+		q := func(p float64) int64 {
+			i := int(p*float64(n)+0.5) - 1
+			if i < 0 {
+				i = 0
+			}
+			if i >= n {
+				i = n - 1
+			}
+			return lat[i].Microseconds()
+		}
+		arm.P50US, arm.P95US, arm.P99US = q(0.50), q(0.95), q(0.99)
+	}
+
+	var m MetricsSnapshot
+	if _, err := lc.do("GET", "/metrics", nil, &m); err != nil {
+		return arm, err
+	}
+	arm.RepoLookup = m.Repo.Lookups
+	arm.RepoHits = m.Repo.Hits
+	arm.RepoInsert = m.Repo.Inserts
+	if m.Repo.Lookups > 0 {
+		arm.HitRate = float64(m.Repo.Hits) / float64(m.Repo.Lookups)
+	}
+	arm.QueueJobs = m.Queue.Submitted
+	arm.QueueDedup = m.Queue.Deduped
+	return arm, nil
+}
+
+// startLocal boots an in-process daemon on a loopback port.
+func (c LoadConfig) startLocal(isolated bool) (*Server, *http.Server, string, error) {
+	srv := New(Options{
+		Engine: core.Options{
+			Tier:         core.TierJIT,
+			Seed:         1,
+			FuseElemwise: c.Fuse,
+			Threads:      c.Threads,
+		},
+		Library: core.LibraryOptions{
+			AsyncCompile:   c.Async,
+			CompileWorkers: c.Workers,
+		},
+		Isolated:    isolated,
+		MaxSessions: c.Clients*c.SessionsPerClient + 8,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return srv, hs, "http://" + ln.Addr().String(), nil
+}
+
+// Run executes the experiment: against an external daemon (one arm) or
+// two in-process arms (shared, then isolated).
+func (c LoadConfig) Run() (*LoadReport, error) {
+	c = c.defaults()
+	rep := &LoadReport{
+		Clients:           c.Clients,
+		SessionsPerClient: c.SessionsPerClient,
+		CallsPerSession:   c.CallsPerSession,
+		Size:              c.Size.String(),
+		Benchmarks:        c.Benchmarks,
+		Async:             c.Async,
+	}
+	if c.Addr != "" {
+		base := c.Addr
+		if len(base) < 7 || base[:7] != "http://" {
+			base = "http://" + base
+		}
+		arm, err := c.runArm("external", base, true)
+		if err != nil {
+			return nil, err
+		}
+		rep.Arms = append(rep.Arms, arm)
+		return rep, nil
+	}
+	for _, mode := range []string{"shared", "isolated"} {
+		srv, hs, base, err := c.startLocal(mode == "isolated")
+		if err != nil {
+			return nil, err
+		}
+		arm, armErr := c.runArm(mode, base, mode == "shared")
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+		if armErr != nil {
+			return nil, fmt.Errorf("%s arm: %w", mode, armErr)
+		}
+		rep.Arms = append(rep.Arms, arm)
+	}
+	return rep, nil
+}
+
+// Report runs the experiment and prints a results-file-style table.
+func (c LoadConfig) Report() (*LoadReport, error) {
+	c = c.defaults()
+	mode := "sync compile"
+	if c.Async {
+		mode = "async compile"
+	}
+	fmt.Fprintf(c.Out, "Server experiment: %d clients x %d sessions x %d calls, size %s, %s\n",
+		c.Clients, c.SessionsPerClient, c.CallsPerSession, c.Size, mode)
+	fmt.Fprintln(c.Out, "================================================================================================")
+	fmt.Fprintf(c.Out, "%-9s %9s %7s %10s %10s %10s %10s %9s %8s %8s\n",
+		"arm", "requests", "errors", "p50", "p95", "p99", "evals/s", "hit-rate", "hits", "inserts")
+	fmt.Fprintln(c.Out, "------------------------------------------------------------------------------------------------")
+	rep, err := c.Run()
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range rep.Arms {
+		fmt.Fprintf(c.Out, "%-9s %9d %7d %10s %10s %10s %10.0f %8.1f%% %8d %8d\n",
+			a.Mode, a.Requests, a.Errors,
+			time.Duration(a.P50US)*time.Microsecond,
+			time.Duration(a.P95US)*time.Microsecond,
+			time.Duration(a.P99US)*time.Microsecond,
+			a.EvalsPerS, 100*a.HitRate, a.RepoHits, a.RepoInsert)
+	}
+	fmt.Fprintln(c.Out, `
+arm:      shared = one process-wide code repository across all sessions;
+          isolated = a private repository per session (the control);
+p50..p99: client-observed eval latency quantiles over all replay requests;
+hit-rate: repository hits / lookups — shared amortizes one session's JIT
+          compile across every session replaying the same program.`)
+	return rep, nil
+}

@@ -1,0 +1,533 @@
+// Package server implements majicd, the multi-session evaluation
+// daemon: an HTTP/JSON front end hosting many concurrent MATLAB
+// sessions, each backed by its own core.Engine workspace, all sharing
+// one process-wide code library — so one session's JIT compile of
+// qmr(A,b) warms every other session's locator (the paper's repository
+// amortization story, lifted from one interactive process to a server).
+//
+// Production shape:
+//
+//   - bounded admission — a semaphore caps concurrently executing
+//     evaluations, and the session table is capped with idle-TTL
+//     eviction by a background reaper;
+//   - per-request deadlines — a watchdog raises the session engine's
+//     cooperative cancel flag, which the interpreter and VM poll at
+//     loop back-edges, so `while 1; end` dies without killing the
+//     process;
+//   - graceful shutdown — the HTTP server drains in-flight evals, the
+//     reaper stops, sessions close, and the shared compile queue shuts
+//     down;
+//   - observability — /metrics exposes repository hit/miss/speculative
+//     counters, compile-queue stats, parallel-pool stats, and
+//     per-route latency histograms; /debug/pprof is wired in.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/compilequeue"
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/repo"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Engine is the base configuration for every session engine (tier,
+	// fusion, threads, ...). Library and Out are overwritten per
+	// session.
+	Engine core.Options
+	// Library configures the process-wide shared code library
+	// (compile pool, repository entry cap).
+	Library core.LibraryOptions
+	// Isolated gives every session a private library instead of the
+	// shared one — the control arm of the shared-repository
+	// experiment, and a containment mode for hostile multi-tenancy.
+	Isolated bool
+
+	// MaxSessions caps the session table (default 256); creates beyond
+	// the cap are rejected with 503 until the reaper or a DELETE frees
+	// a slot.
+	MaxSessions int
+	// MaxConcurrentEvals caps simultaneously executing evaluations
+	// (default 2×GOMAXPROCS). Arrivals beyond the cap queue up to
+	// AdmissionTimeout, then bounce with 503.
+	MaxConcurrentEvals int
+	// AdmissionTimeout bounds how long an eval waits for an execution
+	// slot (default 10s).
+	AdmissionTimeout time.Duration
+	// IdleTTL evicts sessions idle longer than this (default 15m;
+	// negative disables eviction).
+	IdleTTL time.Duration
+	// MaxDeadline caps (and, when a request names none, supplies) the
+	// per-eval deadline (default 60s; negative = unlimited).
+	MaxDeadline time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions == 0 {
+		o.MaxSessions = 256
+	}
+	if o.MaxConcurrentEvals == 0 {
+		o.MaxConcurrentEvals = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.AdmissionTimeout == 0 {
+		o.AdmissionTimeout = 10 * time.Second
+	}
+	if o.IdleTTL == 0 {
+		o.IdleTTL = 15 * time.Minute
+	}
+	if o.MaxDeadline == 0 {
+		o.MaxDeadline = 60 * time.Second
+	}
+	return o
+}
+
+// Server is the evaluation daemon.
+type Server struct {
+	opts Options
+	// lib is the shared code library (nil when Isolated: each session
+	// then owns a private one).
+	lib     *core.Library
+	metrics *serverMetrics
+	evalSem chan struct{}
+	mux     *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+	draining bool
+	// retiredRepo/retiredQueue accumulate counters from destroyed
+	// sessions in isolated mode, so /metrics hit rates survive session
+	// churn (gauges — live functions/entries — are not carried over).
+	retiredRepo  repo.Stats
+	retiredQueue compilequeue.Stats
+
+	reaperStop chan struct{}
+	reaperDone chan struct{}
+}
+
+// New creates a Server (not yet listening; use Handler with an
+// http.Server, or ListenAndServe in cmd/majicd).
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:       opts,
+		metrics:    newServerMetrics(),
+		evalSem:    make(chan struct{}, opts.MaxConcurrentEvals),
+		sessions:   make(map[string]*session),
+		reaperStop: make(chan struct{}),
+		reaperDone: make(chan struct{}),
+	}
+	if !opts.Isolated {
+		s.lib = core.NewLibrary(opts.Library)
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	go s.reaper()
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /sessions", s.timed("create", s.handleCreate))
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.timed("destroy", s.handleDestroy))
+	s.mux.HandleFunc("POST /sessions/{id}/eval", s.timed("eval", s.handleEval))
+	s.mux.HandleFunc("GET /sessions/{id}/workspace/{name}", s.timed("workspace", s.handleWorkspace))
+	s.mux.HandleFunc("PUT /sessions/{id}/workspace/{name}", s.timed("workspace", s.handleWorkspaceSet))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}
+
+// timed wraps a handler with its route's latency histogram.
+func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		s.metrics.observe(route, time.Since(t0))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"` // "timeout" | "saturated" | "not_found" | ...
+}
+
+// --- session lifecycle -------------------------------------------------------
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server shutting down", Kind: "draining"})
+		return
+	}
+	if len(s.sessions) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		s.metrics.sessionsRejected.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "session table full", Kind: "saturated"})
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	sess := newSession(id, s.opts.Engine, s.lib)
+	sess.touch()
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.metrics.sessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (s *Server) lookup(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+func (s *Server) handleDestroy(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if sess == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		return
+	}
+	s.retire(sess)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// retire closes a session removed from the table, folding its private
+// repository and queue counters into the retired totals when the
+// server runs isolated (shared-mode counters live in the shared
+// library and need no carry-over).
+func (s *Server) retire(sess *session) {
+	if s.lib == nil {
+		st := sess.eng.Repo().Stats()
+		qs := sess.eng.QueueStats()
+		s.mu.Lock()
+		addRepoCounters(&s.retiredRepo, st)
+		addQueueCounters(&s.retiredQueue, qs)
+		s.mu.Unlock()
+	}
+	sess.close()
+}
+
+// addRepoCounters folds one repository's counters (not its live-entry
+// gauges) into an aggregate.
+func addRepoCounters(dst *repo.Stats, st repo.Stats) {
+	dst.Lookups += st.Lookups
+	dst.Hits += st.Hits
+	dst.Misses += st.Misses
+	dst.Inserts += st.Inserts
+	dst.SpecHits += st.SpecHits
+	dst.Invalidation += st.Invalidation
+	dst.StaleDrops += st.StaleDrops
+	dst.Evictions += st.Evictions
+}
+
+func addQueueCounters(dst *compilequeue.Stats, qs compilequeue.Stats) {
+	dst.Submitted += qs.Submitted
+	dst.Deduped += qs.Deduped
+	dst.Completed += qs.Completed
+	dst.Errors += qs.Errors
+	dst.Inline += qs.Inline
+}
+
+// --- evaluation --------------------------------------------------------------
+
+type evalRequest struct {
+	Src        string `json:"src"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+}
+
+type evalResponse struct {
+	Output    string `json:"output"`
+	ElapsedUS int64  `json:"elapsed_us"`
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		return
+	}
+	var req evalRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+
+	// Bounded admission: wait for an execution slot, give up after
+	// AdmissionTimeout (or when the client hangs up).
+	admit := time.NewTimer(s.opts.AdmissionTimeout)
+	defer admit.Stop()
+	select {
+	case s.evalSem <- struct{}{}:
+		defer func() { <-s.evalSem }()
+	case <-admit.C:
+		s.metrics.evalsRejected.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "eval capacity saturated", Kind: "saturated"})
+		return
+	case <-r.Context().Done():
+		s.metrics.evalsRejected.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "client gone", Kind: "saturated"})
+		return
+	}
+
+	deadline := time.Duration(req.DeadlineMS) * time.Millisecond
+	if s.opts.MaxDeadline > 0 && (deadline <= 0 || deadline > s.opts.MaxDeadline) {
+		deadline = s.opts.MaxDeadline
+	}
+
+	s.metrics.evalsInflight.Add(1)
+	t0 := time.Now()
+	out, timedOut, err := sess.eval(req.Src, deadline)
+	elapsed := time.Since(t0)
+	s.metrics.evalsInflight.Add(-1)
+	s.metrics.evalsTotal.Add(1)
+
+	switch {
+	case timedOut:
+		s.metrics.evalsTimeouts.Add(1)
+		writeJSON(w, http.StatusRequestTimeout, errorBody{
+			Error: fmt.Sprintf("deadline exceeded after %s", deadline), Kind: "timeout",
+		})
+	case err == errSessionClosed:
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "session closed", Kind: "not_found"})
+	case err != nil:
+		s.metrics.evalsErrors.Add(1)
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, evalResponse{Output: out, ElapsedUS: elapsed.Microseconds()})
+	}
+}
+
+func (s *Server) handleWorkspace(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		return
+	}
+	v, ok := sess.workspaceGet(r.PathValue("name"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such variable", Kind: "not_found"})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleWorkspaceSet(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookup(r.PathValue("id"))
+	if sess == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		return
+	}
+	var wv workspaceValue
+	if err := json.NewDecoder(r.Body).Decode(&wv); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if err := sess.workspaceSet(r.PathValue("name"), &wv); err != nil {
+		if err == errSessionClosed {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "session closed", Kind: "not_found"})
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- metrics -----------------------------------------------------------------
+
+// MetricsSnapshot is the /metrics JSON payload.
+type MetricsSnapshot struct {
+	Sessions struct {
+		Active   int    `json:"active"`
+		Created  uint64 `json:"created"`
+		Evicted  uint64 `json:"evicted_idle"`
+		Rejected uint64 `json:"rejected"`
+	} `json:"sessions"`
+	Evals struct {
+		Total    uint64 `json:"total"`
+		Errors   uint64 `json:"errors"`
+		Timeouts uint64 `json:"timeouts"`
+		Rejected uint64 `json:"rejected"`
+		Inflight int64  `json:"inflight"`
+	} `json:"evals"`
+	Repo     repo.Stats         `json:"repo"`
+	Queue    compilequeue.Stats `json:"queue"`
+	Parallel struct {
+		Threads int `json:"threads"`
+		Workers int `json:"workers"`
+	} `json:"parallel"`
+	BufferPool mat.PoolStats           `json:"buffer_pool"`
+	Routes     map[string]RouteMetrics `json:"routes"`
+	SharedRepo bool                    `json:"shared_repo"`
+}
+
+// Metrics returns the current snapshot (also served at /metrics).
+func (s *Server) Metrics() MetricsSnapshot {
+	var ms MetricsSnapshot
+	s.mu.Lock()
+	ms.Sessions.Active = len(s.sessions)
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	retiredRepo, retiredQueue := s.retiredRepo, s.retiredQueue
+	s.mu.Unlock()
+
+	ms.Sessions.Created = s.metrics.sessionsCreated.Load()
+	ms.Sessions.Evicted = s.metrics.sessionsEvicted.Load()
+	ms.Sessions.Rejected = s.metrics.sessionsRejected.Load()
+	ms.Evals.Total = s.metrics.evalsTotal.Load()
+	ms.Evals.Errors = s.metrics.evalsErrors.Load()
+	ms.Evals.Timeouts = s.metrics.evalsTimeouts.Load()
+	ms.Evals.Rejected = s.metrics.evalsRejected.Load()
+	ms.Evals.Inflight = s.metrics.evalsInflight.Load()
+
+	if s.lib != nil {
+		ms.Repo = s.lib.Repo().Stats()
+		ms.Queue = s.lib.QueueStats()
+		ms.SharedRepo = true
+	} else {
+		// Isolated mode: aggregate per-session repositories (live plus
+		// retired) so the hit-rate comparison reads from the same
+		// endpoint.
+		ms.Repo, ms.Queue = retiredRepo, retiredQueue
+		for _, sess := range sessions {
+			st := sess.eng.Repo().Stats()
+			addRepoCounters(&ms.Repo, st)
+			ms.Repo.Functions += st.Functions
+			ms.Repo.Entries += st.Entries
+			addQueueCounters(&ms.Queue, sess.eng.QueueStats())
+		}
+	}
+	ms.Parallel.Threads = parallel.DefaultThreads()
+	ms.Parallel.Workers = parallel.Workers()
+	ms.BufferPool = mat.ReadPoolStats()
+	ms.Routes = make(map[string]RouteMetrics, len(s.metrics.routes))
+	for name, h := range s.metrics.routes {
+		ms.Routes[name] = h.snapshot()
+	}
+	return ms
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// --- idle eviction -----------------------------------------------------------
+
+func (s *Server) reaper() {
+	defer close(s.reaperDone)
+	if s.opts.IdleTTL < 0 {
+		<-s.reaperStop
+		return
+	}
+	tick := s.opts.IdleTTL / 4
+	if tick < time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.reaperStop:
+			return
+		case now := <-t.C:
+			var dead []*session
+			s.mu.Lock()
+			for id, sess := range s.sessions {
+				if sess.idleSince(now) > s.opts.IdleTTL {
+					delete(s.sessions, id)
+					dead = append(dead, sess)
+				}
+			}
+			s.mu.Unlock()
+			for _, sess := range dead {
+				s.retire(sess)
+				s.metrics.sessionsEvicted.Add(1)
+			}
+		}
+	}
+}
+
+// --- shutdown ----------------------------------------------------------------
+
+// Shutdown drains and stops the daemon: new session creates are
+// refused, the HTTP server (if one was attached via Serve) has already
+// stopped accepting by the time callers get here, in-flight evals are
+// given until ctx expires to finish (then force-interrupted), the
+// reaper stops, sessions close, and the shared compile queue shuts
+// down.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.sessions = make(map[string]*session)
+	s.mu.Unlock()
+
+	// Drain: wait for every execution slot, i.e. no eval is running.
+	drained := make(chan struct{})
+	go func() {
+		for i := 0; i < cap(s.evalSem); i++ {
+			s.evalSem <- struct{}{}
+		}
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		// Force: raise every session's cancel flag so runaway programs
+		// die at their next back-edge, then keep waiting briefly.
+		for _, sess := range sessions {
+			sess.eng.Interrupt()
+		}
+		select {
+		case <-drained:
+		case <-time.After(2 * time.Second):
+			err = ctx.Err()
+		}
+	}
+
+	close(s.reaperStop)
+	<-s.reaperDone
+	for _, sess := range sessions {
+		s.retire(sess)
+	}
+	if s.lib != nil {
+		s.lib.Close()
+	}
+	return err
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/builtins"
+	"repro/internal/cancel"
 	"repro/internal/ir"
 	"repro/internal/mat"
 )
@@ -200,6 +201,16 @@ func Run(c *Compiled, host Host, args []*mat.Value) ([]*mat.Value, error) {
 		}
 	}
 
+	// The host's cancel flag (nil when it has none) is polled at
+	// backward jumps. Every loop the code generator emits closes with a
+	// backward OpJmp to its header, so this single site is a complete
+	// set of back-edge safepoints: a raised flag aborts `while 1; end`
+	// within one iteration, and forward control flow pays nothing.
+	var cflag *cancel.Flag
+	if c, ok := host.(cancel.Checker); ok {
+		cflag = c.CancelFlag()
+	}
+
 	ins := p.Ins
 	pc := 0
 	var err error
@@ -209,7 +220,15 @@ func Run(c *Compiled, host Host, args []*mat.Value) ([]*mat.Value, error) {
 		switch in.Op {
 		case ir.OpNop:
 		case ir.OpJmp:
-			pc = int(in.A)
+			if t := int(in.A); t <= pc {
+				if cflag != nil && cflag.Raised() {
+					err = cancel.ErrInterrupted
+					goto fail
+				}
+				pc = t
+			} else {
+				pc = t
+			}
 			continue
 		case ir.OpRet:
 			outs := make([]*mat.Value, len(p.OutRegs))
