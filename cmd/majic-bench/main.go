@@ -64,6 +64,7 @@ func main() {
 	calls := flag.Int("calls", 20, "concurrent experiment: steady-state calls per client; server experiment: replay calls per session")
 	sessions := flag.Int("sessions", 2, "server experiment: sessions per client")
 	addr := flag.String("addr", "", "server experiment: external majicd address (default: in-process daemons)")
+	repoPath := flag.String("repo-path", "", "server experiment: persist the repository to this file and add warm-vs-cold restart arms")
 	jsonOut := flag.Bool("json", false, "also write BENCH_fig4.json / BENCH_server.json for those experiments")
 	fuse := flag.Bool("fuse", false, "fuse elementwise operator trees into single kernels (with buffer recycling)")
 	threads := flag.Int("threads", 0, "dense-kernel worker threads (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
@@ -193,6 +194,7 @@ func main() {
 			CallsPerSession:   *calls,
 			Benchmarks:        cfg.Benchmarks,
 			Addr:              *addr,
+			RepoPath:          *repoPath,
 			Out:               os.Stdout,
 			Async:             *async,
 			Workers:           *workers,

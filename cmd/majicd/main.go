@@ -44,6 +44,7 @@ func main() {
 	fuse := flag.Bool("fuse", false, "fuse elementwise operator trees into single kernels")
 	threads := flag.Int("threads", 0, "dense-kernel worker threads (0 = GOMAXPROCS)")
 	repoMax := flag.Int("repo-max", 0, "max compiled entries per function in the shared repository (0 = unbounded)")
+	repoPath := flag.String("repo-path", "", "persist the shared repository to this file: warm-start on boot, write-behind snapshots, flush on drain")
 	maxSessions := flag.Int("max-sessions", 256, "session table cap")
 	maxEvals := flag.Int("max-evals", 0, "max concurrently executing evals (0 = 2x GOMAXPROCS)")
 	idleTTL := flag.Duration("idle-ttl", 15*time.Minute, "evict sessions idle longer than this")
@@ -55,6 +56,10 @@ func main() {
 	t, err := core.ParseTier(*tier)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *repoPath != "" && *isolated {
+		fmt.Fprintln(os.Stderr, "majicd: -repo-path requires the shared repository (drop -isolated)")
 		os.Exit(2)
 	}
 	if *threads > 0 {
@@ -73,6 +78,7 @@ func main() {
 			RepoMaxEntries: *repoMax,
 		},
 		Isolated:           *isolated,
+		RepoPath:           *repoPath,
 		MaxSessions:        *maxSessions,
 		MaxConcurrentEvals: *maxEvals,
 		IdleTTL:            *idleTTL,
@@ -92,6 +98,19 @@ func main() {
 	}
 	fmt.Printf("majicd: listening on %s (tier %s, %s, async=%v, max-sessions %d)\n",
 		*addr, t, mode, *async, *maxSessions)
+	if *repoPath != "" {
+		pm := srv.Metrics().Persist
+		switch {
+		case pm.Load.Error != "":
+			fmt.Printf("majicd: %s: cold start (snapshot rejected: %s)\n", *repoPath, pm.Load.Error)
+		case pm.Load.Attempted:
+			fmt.Printf("majicd: %s: warm start — %d entries for %d functions (rejected %d entries, %d functions)\n",
+				*repoPath, pm.Load.LoadedEntries, pm.Load.LoadedFunctions,
+				pm.Load.RejectedEntries, pm.Load.RejectedFunctions)
+		default:
+			fmt.Printf("majicd: %s: cold start (no snapshot yet)\n", *repoPath)
+		}
+	}
 
 	select {
 	case err := <-errc:

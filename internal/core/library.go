@@ -1,13 +1,18 @@
 package core
 
 import (
+	"os"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/compilequeue"
+	"repro/internal/parser"
+	"repro/internal/persist"
 	"repro/internal/repo"
+	"repro/internal/vm"
 )
 
 // Library is the shared code store behind one or more engines: the
@@ -33,6 +38,13 @@ type Library struct {
 	// queue is the async compile pool (nil in synchronous mode). It is
 	// owned by the library: engines submit jobs but never close it.
 	queue *compilequeue.Pool
+
+	// writer is the write-behind snapshotter (nil unless
+	// EnablePersistence attached one) and loadStats the record of the
+	// warm-start attempt; pmu guards both.
+	pmu       sync.Mutex
+	writer    *persist.Writer
+	loadStats persist.LoadStats
 }
 
 // LibraryOptions configure a shared library.
@@ -68,12 +80,20 @@ func NewLibrary(opts LibraryOptions) *Library {
 	return l
 }
 
-// Close shuts down the library's compile pool (no-op in sync mode).
-// Queued jobs finish first; jobs submitted later run inline, so
-// attached engines keep working synchronously.
+// Close shuts down the library's compile pool (no-op in sync mode) and
+// then flushes and closes the persistence writer, so the final snapshot
+// includes every entry the draining compile queue published. Queued
+// jobs finish first; jobs submitted later run inline, so attached
+// engines keep working synchronously.
 func (l *Library) Close() {
 	if l.queue != nil {
 		l.queue.Close()
+	}
+	l.pmu.Lock()
+	w := l.writer
+	l.pmu.Unlock()
+	if w != nil {
+		w.Close()
 	}
 }
 
@@ -131,9 +151,209 @@ func (l *Library) snapshot() []*ast.Function {
 // the repository generation advances: an async job that observes the
 // new generation is then guaranteed to resolve the new body (see
 // invokeAsync's ordering note).
+//
+// A redefinition whose source text is byte-identical to the registered
+// one is a no-op — the paper's snooper invalidates on *change*, not on
+// every sighting of a .m file. This is what lets a warm-started daemon
+// keep its loaded entries when sessions re-send the same definitions:
+// without it, every replayed definition would advance the generation
+// and drop the code the snapshot just restored.
+//
+// Publish and invalidation happen under the function-map lock, so a
+// snapshot export (which reads sources and entries under the same
+// lock) can never pair one generation's source text with another
+// generation's compiled entries.
 func (l *Library) register(fn *ast.Function) {
 	l.fmu.Lock()
+	if old, ok := l.funcs[fn.Name]; ok && old.Source != "" && old.Source == fn.Source {
+		l.fmu.Unlock()
+		return
+	}
 	l.funcs[fn.Name] = fn
-	l.fmu.Unlock()
 	l.repo.Invalidate(fn.Name)
+	l.fmu.Unlock()
+}
+
+// --- persistence -------------------------------------------------------------
+
+// ExportSnapshot captures the library's serializable state: every
+// registered function source plus its live compiled entries. The
+// function-map lock is held across the whole export (register takes the
+// same lock for publish+invalidate), so sources and entries are always
+// from the same generation. Safe from any goroutine; the write-behind
+// snapshotter is the main caller.
+func (l *Library) ExportSnapshot() *persist.Snapshot {
+	l.fmu.RLock()
+	defer l.fmu.RUnlock()
+	names := make([]string, 0, len(l.funcs))
+	for name := range l.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	snap := &persist.Snapshot{Funcs: make([]persist.FuncState, 0, len(names))}
+	for _, name := range names {
+		fn := l.funcs[name]
+		h := persist.HashSource(fn.Source)
+		fs := persist.FuncState{Name: name, Source: fn.Source, SrcHash: h}
+		for _, e := range l.repo.Entries(name) {
+			es := persist.EntryState{
+				SrcHash:     h,
+				Sig:         e.Sig,
+				Quality:     uint8(e.Quality),
+				Speculative: e.Speculative,
+				Hits:        e.Hits(),
+			}
+			if e.Code != nil {
+				es.Prog = e.Code.P
+			}
+			fs.Entries = append(fs.Entries, es)
+		}
+		snap.Funcs = append(snap.Funcs, fs)
+	}
+	return snap
+}
+
+// LoadSnapshot warm-starts the library from a decoded snapshot:
+// function sources are registered (without invalidation — the library
+// is expected to be empty or to already hold identical sources) and
+// their entries re-prepared and published under stats.Loaded. Content
+// that fails validation is dropped, never trusted:
+//
+//   - a function whose recorded source hash does not match its source
+//     text, or whose source no longer parses, is skipped entirely;
+//   - a function already registered with *different* source keeps the
+//     live definition and the snapshot's entries are dropped (the
+//     cross-lifetime form of "a redefinition must not resurrect stale
+//     code");
+//   - an entry whose source hash disagrees with its function's, or
+//     whose program the current build cannot prepare, is dropped.
+func (l *Library) LoadSnapshot(snap *persist.Snapshot) persist.LoadStats {
+	var st persist.LoadStats
+	st.Attempted = true
+	for _, fs := range snap.Funcs {
+		if persist.HashSource(fs.Source) != fs.SrcHash {
+			st.RejectedFunctions++
+			st.RejectedEntries += len(fs.Entries)
+			continue
+		}
+		file, err := parser.Parse(fs.Source)
+		if err != nil || len(file.Stmts) > 0 {
+			st.RejectedFunctions++
+			st.RejectedEntries += len(fs.Entries)
+			continue
+		}
+		var fn *ast.Function
+		for _, f := range file.Funcs {
+			if f.Name == fs.Name {
+				fn = f
+				break
+			}
+		}
+		if fn == nil {
+			st.RejectedFunctions++
+			st.RejectedEntries += len(fs.Entries)
+			continue
+		}
+
+		l.fmu.Lock()
+		if old, ok := l.funcs[fs.Name]; ok {
+			if old.Source != fn.Source {
+				// A live definition with different source wins over the
+				// snapshot unconditionally.
+				l.fmu.Unlock()
+				st.RejectedFunctions++
+				st.RejectedEntries += len(fs.Entries)
+				continue
+			}
+		} else {
+			l.funcs[fs.Name] = fn
+		}
+		l.fmu.Unlock()
+		st.LoadedFunctions++
+
+		for _, es := range fs.Entries {
+			if es.SrcHash != fs.SrcHash {
+				st.RejectedEntries++
+				continue
+			}
+			q := repo.Quality(es.Quality)
+			if q > repo.QualityOpt {
+				st.RejectedEntries++
+				continue
+			}
+			var code *vm.Compiled
+			if es.Prog != nil {
+				code, err = vm.Prepare(es.Prog)
+				if err != nil {
+					st.RejectedEntries++
+					continue
+				}
+			} else if q != repo.QualityInterp {
+				// A compiled-quality entry with no program is snapshot
+				// damage the codec cannot see; drop it.
+				st.RejectedEntries++
+				continue
+			}
+			l.repo.InsertLoaded(fs.Name, repo.Restored(es.Sig, code, q, es.Speculative, es.Hits))
+			st.LoadedEntries++
+		}
+	}
+	return st
+}
+
+// EnablePersistence warm-starts the library from the snapshot at path
+// (when one exists) and attaches a write-behind snapshotter that keeps
+// the file current from then on. Stale, corrupt, truncated, or
+// foreign-build snapshots are rejected as a whole and the library cold
+// starts — the returned LoadStats records what happened; persistence
+// failures are never fatal. debounce <= 0 selects the writer default.
+func (l *Library) EnablePersistence(path string, debounce time.Duration) persist.LoadStats {
+	var st persist.LoadStats
+	if data, err := os.ReadFile(path); err == nil {
+		st.Attempted = true
+		if snap, derr := persist.Decode(data); derr != nil {
+			st.Error = derr.Error()
+		} else {
+			st = l.LoadSnapshot(snap)
+		}
+	} else if !os.IsNotExist(err) {
+		st.Attempted = true
+		st.Error = err.Error()
+	}
+	w := persist.NewWriter(path, l.ExportSnapshot, debounce)
+	l.pmu.Lock()
+	l.writer = w
+	l.loadStats = st
+	l.pmu.Unlock()
+	l.repo.SetOnChange(w.Notify)
+	return st
+}
+
+// FlushPersistence synchronously writes any unsaved repository state (a
+// no-op when persistence is disabled or the snapshot is current).
+func (l *Library) FlushPersistence() error {
+	l.pmu.Lock()
+	w := l.writer
+	l.pmu.Unlock()
+	if w == nil {
+		return nil
+	}
+	return w.Flush()
+}
+
+// PersistMetrics returns the persistence surface for /metrics: the
+// warm-start load stats plus the write-behind writer counters. The
+// zero value (Enabled false) means persistence is off.
+func (l *Library) PersistMetrics() persist.Metrics {
+	l.pmu.Lock()
+	defer l.pmu.Unlock()
+	if l.writer == nil {
+		return persist.Metrics{}
+	}
+	return persist.Metrics{
+		Enabled: true,
+		Path:    l.writer.Path(),
+		Load:    l.loadStats,
+		Writer:  l.writer.Stats(),
+	}
 }

@@ -12,6 +12,7 @@ package ir
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 )
 
@@ -227,6 +228,25 @@ func (o Op) String() string {
 		return s
 	}
 	return fmt.Sprintf("op%d", uint16(o))
+}
+
+// Fingerprint hashes the IR's codec-relevant shape: the opcode table
+// (numbering and mnemonics), the fuse micro-op codes, and the bank
+// count. A serialized program is only meaningful to a build whose IR
+// assigns the same numbers to the same operations — opcodes are
+// iota-assigned, so inserting an opcode renumbers everything after it.
+// The persistence layer stamps snapshots with this fingerprint and
+// rejects (falls back to a cold start on) snapshots written by a build
+// with a different IR, instead of misdecoding instructions.
+func Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "banks=%d ops=%d", int(BankNone)+1, len(opNames))
+	for o := Op(0); int(o) < len(opNames); o++ {
+		fmt.Fprintf(h, "|%d=%s", uint16(o), opNames[o])
+	}
+	fmt.Fprintf(h, "|fuse=%d..%d lim=%d/%d",
+		FuseLoadV, FuseMath, MaxFuseOperands, MaxFuseOps)
+	return h.Sum64()
 }
 
 // Instr is one IR instruction.

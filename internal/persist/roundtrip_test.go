@@ -1,0 +1,136 @@
+// Round-trip golden test over the real corpus: compile every fig4
+// benchmark, export the repository, push it through the binary codec,
+// load it into a brand-new library, and replay — the warm library must
+// answer every call without a single miss or compile. External test
+// package because internal/bench imports internal/core.
+package persist_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/persist"
+)
+
+// compileAll defines and calls every fig4 benchmark once on a shared
+// library so the repository holds one JIT entry per benchmark.
+func compileAll(t *testing.T, lib *core.Library) {
+	t.Helper()
+	e := core.New(core.Options{Tier: core.TierJIT, Library: lib, Seed: 1})
+	defer e.Close()
+	for _, b := range bench.All() {
+		if err := e.Define(b.Source(bench.Small)); err != nil {
+			t.Fatalf("%s: define: %v", b.Fn, err)
+		}
+		if _, err := e.Call(b.Fn, b.Args(bench.Small), 1); err != nil {
+			t.Fatalf("%s: call: %v", b.Fn, err)
+		}
+	}
+}
+
+func TestFig4SnapshotRoundTrip(t *testing.T) {
+	lib := core.NewLibrary(core.LibraryOptions{})
+	defer lib.Close()
+	compileAll(t, lib)
+
+	// Benchmark files may define helper functions, so the snapshot can
+	// hold more functions than benchmarks — but never fewer, and every
+	// benchmark entry point must have at least one compiled entry.
+	snap := lib.ExportSnapshot()
+	if len(snap.Funcs) < len(bench.All()) {
+		t.Fatalf("snapshot covers %d functions, want >= %d", len(snap.Funcs), len(bench.All()))
+	}
+	entries := make(map[string]int)
+	for _, f := range snap.Funcs {
+		entries[f.Name] = len(f.Entries)
+		if f.SrcHash != persist.HashSource(f.Source) {
+			t.Errorf("%s: exported SrcHash does not match source", f.Name)
+		}
+	}
+	for _, b := range bench.All() {
+		if entries[b.Fn] == 0 {
+			t.Errorf("%s: no repository entries exported", b.Fn)
+		}
+	}
+
+	// Codec round trip must be byte-stable over the real corpus.
+	data := persist.Encode(snap)
+	got, err := persist.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if again := persist.Encode(got); !reflect.DeepEqual(data, again) {
+		t.Fatalf("re-encode mismatch: %d vs %d bytes", len(data), len(again))
+	}
+
+	// Warm-load into a fresh library: every entry accepted.
+	warm := core.NewLibrary(core.LibraryOptions{})
+	defer warm.Close()
+	ls := warm.LoadSnapshot(got)
+	if ls.RejectedFunctions != 0 || ls.RejectedEntries != 0 {
+		t.Fatalf("warm load rejected entries: %+v", ls)
+	}
+	if ls.LoadedFunctions != len(snap.Funcs) || ls.LoadedEntries == 0 {
+		t.Fatalf("warm load incomplete: %+v", ls)
+	}
+
+	// Replay the full suite against the warm library: zero misses,
+	// zero compiles — the warm-start contract the CI job enforces.
+	compileAll(t, warm)
+	st := warm.Repo().Stats()
+	if st.Misses != 0 {
+		t.Fatalf("warm replay missed %d times (stats %+v)", st.Misses, st)
+	}
+	if st.Inserts != 0 {
+		t.Fatalf("warm replay compiled %d times (stats %+v)", st.Inserts, st)
+	}
+	if st.Hits == 0 || st.Loaded != ls.LoadedEntries {
+		t.Fatalf("warm replay did not use loaded entries: %+v", st)
+	}
+}
+
+// TestWarmResultsMatchCold runs one benchmark cold and warm and
+// compares the numeric results: restored code must compute exactly
+// what freshly compiled code computes.
+func TestWarmResultsMatchCold(t *testing.T) {
+	b := bench.ByName("fibonacci")
+	if b == nil {
+		t.Skip("fibonacci benchmark not registered")
+	}
+
+	run := func(lib *core.Library) []float64 {
+		e := core.New(core.Options{Tier: core.TierJIT, Library: lib, Seed: 1})
+		defer e.Close()
+		if err := e.Define(b.Source(bench.Small)); err != nil {
+			t.Fatal(err)
+		}
+		out, err := e.Call(b.Fn, b.Args(bench.Small), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), out[0].Re()...)
+	}
+
+	cold := core.NewLibrary(core.LibraryOptions{})
+	defer cold.Close()
+	want := run(cold)
+
+	snap, err := persist.Decode(persist.Encode(cold.ExportSnapshot()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := core.NewLibrary(core.LibraryOptions{})
+	defer warm.Close()
+	if ls := warm.LoadSnapshot(snap); ls.LoadedEntries == 0 {
+		t.Fatalf("nothing loaded: %+v", ls)
+	}
+	got := run(warm)
+	if st := warm.Repo().Stats(); st.Inserts != 0 {
+		t.Fatalf("warm run recompiled: %+v", st)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("warm result differs from cold:\ncold %v\nwarm %v", want, got)
+	}
+}

@@ -1,0 +1,188 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func snapSrc(n *atomic.Int64) func() *Snapshot {
+	return func() *Snapshot {
+		n.Add(1)
+		return testSnapshot()
+	}
+}
+
+func TestWriterFlushWritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "repo.bin")
+	var calls atomic.Int64
+	w := NewWriter(path, snapSrc(&calls), time.Hour) // debounce never fires
+	defer w.Close()
+
+	w.Notify()
+	if _, err := os.Stat(path); err == nil {
+		t.Fatal("snapshot written before debounce elapsed")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if _, err := Decode(data); err != nil {
+		t.Fatalf("written snapshot does not decode: %v", err)
+	}
+	// No temp files may be left behind by the rename dance.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("stray files in snapshot dir: %v", ents)
+	}
+	st := w.Stats()
+	if st.Saves != 1 || st.SaveErrors != 0 || st.SnapshotBytes != uint64(len(data)) {
+		t.Fatalf("unexpected stats after flush: %+v", st)
+	}
+}
+
+func TestWriterDebounceCoalesces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.bin")
+	var calls atomic.Int64
+	w := NewWriter(path, snapSrc(&calls), 30*time.Millisecond)
+	defer w.Close()
+
+	// A burst of notifies inside the debounce window must coalesce
+	// into (at most a few, ideally one) saves, not fifty.
+	for i := 0; i < 50; i++ {
+		w.Notify()
+		time.Sleep(time.Millisecond)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Stats().Saves == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := w.Stats()
+	if st.Saves == 0 {
+		t.Fatal("debounced save never fired")
+	}
+	if st.Saves > 10 {
+		t.Fatalf("debounce did not coalesce: %d saves for 50 notifies", st.Saves)
+	}
+	if st.Notifies != 50 {
+		t.Fatalf("notify count: got %d want 50", st.Notifies)
+	}
+}
+
+func TestWriterFlushIdleIsNoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.bin")
+	var calls atomic.Int64
+	w := NewWriter(path, snapSrc(&calls), time.Hour)
+	defer w.Close()
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush with no dirty data: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("idle flush wrote a snapshot")
+	}
+	if calls.Load() != 0 {
+		t.Fatal("idle flush invoked the snapshot source")
+	}
+}
+
+func TestWriterCloseFlushesPending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.bin")
+	var calls atomic.Int64
+	w := NewWriter(path, snapSrc(&calls), time.Hour)
+	w.Notify()
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal("Close did not flush the pending snapshot")
+	}
+	// Notify after Close must be a no-op, not a rearmed timer.
+	w.Notify()
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush after Close: %v", err)
+	}
+	if got := w.Stats().Saves; got != 1 {
+		t.Fatalf("save after Close: %d saves", got)
+	}
+}
+
+func TestWriterSaveErrorKeepsDirty(t *testing.T) {
+	dir := t.TempDir()
+	// Point the writer at a path whose parent does not exist so the
+	// temp-file create fails.
+	path := filepath.Join(dir, "missing", "repo.bin")
+	var calls atomic.Int64
+	w := NewWriter(path, snapSrc(&calls), time.Hour)
+	defer w.Close()
+	w.Notify()
+	if err := w.Flush(); err == nil {
+		t.Fatal("Flush into missing directory succeeded")
+	}
+	if w.Stats().SaveErrors == 0 {
+		t.Fatal("save error not counted")
+	}
+	// The data stays dirty: once the directory exists, the next flush
+	// must retry and succeed.
+	if err := os.Mkdir(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal("retry flush did not write the snapshot")
+	}
+}
+
+// TestWriterConcurrentNotify races notifies, flushes, and reads of the
+// snapshot file against each other; run under -race this is the
+// regression test for insert-vs-snapshotter races.
+func TestWriterConcurrentNotify(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.bin")
+	var calls atomic.Int64
+	w := NewWriter(path, snapSrc(&calls), time.Millisecond)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Notify()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_ = w.Flush()
+			if data, err := os.ReadFile(path); err == nil {
+				if _, err := Decode(data); err != nil {
+					t.Errorf("torn snapshot observed: %v", err)
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no snapshot after close: %v", err)
+	}
+	if _, err := Decode(data); err != nil {
+		t.Fatalf("final snapshot does not decode: %v", err)
+	}
+}

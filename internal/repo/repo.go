@@ -74,6 +74,7 @@ type Stats struct {
 	Invalidation int `json:"invalidations"`
 	StaleDrops   int `json:"stale_drops"` // async publishes dropped by a generation mismatch
 	Evictions    int `json:"evictions"`   // entries evicted by the per-function cap
+	Loaded       int `json:"loaded"`      // entries restored from a warm-start snapshot (not Inserts)
 	Functions    int `json:"functions"`   // functions with at least one live entry (snapshot)
 	Entries      int `json:"entries"`     // live compiled entries across all functions (snapshot)
 }
@@ -90,6 +91,11 @@ type Repository struct {
 	// distinct constant argument, before widening kicks in) cannot grow
 	// the repository without bound.
 	maxPerFunc int
+	// onChange, when set, is invoked (outside the repository lock) after
+	// every mutation that changes what a snapshot of the repository
+	// would contain: inserts, replaces, and invalidations. The
+	// persistence layer hooks its write-behind snapshotter here.
+	onChange func()
 }
 
 // New returns an empty, unbounded repository.
@@ -166,6 +172,29 @@ func (r *Repository) Entries(name string) []*Entry {
 	return append([]*Entry(nil), r.funcs[name]...)
 }
 
+// SetOnChange registers the snapshot-dirtying callback, invoked after
+// every insert, replace, and invalidation (outside the repository
+// lock, so the callback may call Entries/Stats/FunctionNames). Set it
+// before the repository sees concurrent traffic — the warm-start
+// sequence installs it right after loading, before the daemon listens.
+func (r *Repository) SetOnChange(fn func()) {
+	r.mu.Lock()
+	r.onChange = fn
+	r.mu.Unlock()
+}
+
+// FunctionNames returns every function name with at least one live
+// entry (snapshot export order is the caller's concern).
+func (r *Repository) FunctionNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.funcs))
+	for name := range r.funcs {
+		out = append(out, name)
+	}
+	return out
+}
+
 // Generation returns the current generation of a function name. The
 // counter advances on every Invalidate; an asynchronous compile job
 // captures it before compiling and passes it back to InsertAt.
@@ -178,8 +207,12 @@ func (r *Repository) Generation(name string) uint64 {
 // Insert adds an entry at the current generation.
 func (r *Repository) Insert(name string, e *Entry) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.insertLocked(name, e)
+	onChange := r.onChange
+	r.mu.Unlock()
+	if onChange != nil {
+		onChange()
+	}
 }
 
 // InsertAt adds an entry if the function's generation still equals gen.
@@ -187,13 +220,41 @@ func (r *Repository) Insert(name string, e *Entry) {
 // after the compile job was enqueued, so stale code never resurrects.
 func (r *Repository) InsertAt(name string, e *Entry, gen uint64) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.gens[name] != gen {
 		r.stats.StaleDrops++
+		r.mu.Unlock()
 		return false
 	}
 	r.insertLocked(name, e)
+	onChange := r.onChange
+	r.mu.Unlock()
+	if onChange != nil {
+		onChange()
+	}
 	return true
+}
+
+// Restored builds an entry recovered from a warm-start snapshot,
+// carrying the persisted hit count over so least-hit eviction keeps
+// ranking the working set correctly across restarts.
+func Restored(sig types.Signature, code *vm.Compiled, q Quality, speculative bool, hits int64) *Entry {
+	return &Entry{Sig: sig, Code: code, Quality: q, Speculative: speculative, hits: hits}
+}
+
+// InsertLoaded publishes a warm-start entry. It counts under
+// stats.Loaded instead of stats.Inserts, so "inserts" keeps meaning
+// "compiles published this lifetime" — the warm-start CI gate asserts
+// a snapshot replay performs zero of those. Loading happens before the
+// write-behind snapshotter attaches, so no onChange fires (a loaded
+// entry is by definition already in the snapshot).
+func (r *Repository) InsertLoaded(name string, e *Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stats.Loaded++
+	r.funcs[name] = append(r.funcs[name], e)
+	if r.maxPerFunc > 0 && len(r.funcs[name]) > r.maxPerFunc {
+		r.evictLocked(name, e)
+	}
 }
 
 func (r *Repository) insertLocked(name string, e *Entry) {
@@ -236,15 +297,20 @@ func (r *Repository) evictLocked(name string, keep *Entry) {
 // repository still holds one compiled version for the signature.
 func (r *Repository) Replace(name string, old, repl *Entry) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	for i, e := range r.funcs[name] {
 		if e == old {
 			atomic.StoreInt64(&repl.hits, old.Hits())
 			r.funcs[name][i] = repl
+			onChange := r.onChange
+			r.mu.Unlock()
+			if onChange != nil {
+				onChange()
+			}
 			return true
 		}
 	}
 	r.stats.StaleDrops++
+	r.mu.Unlock()
 	return false
 }
 
@@ -253,11 +319,18 @@ func (r *Repository) Replace(name string, old, repl *Entry) bool {
 // for the old source publish into the void.
 func (r *Repository) Invalidate(name string) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.gens[name]++
 	if _, ok := r.funcs[name]; ok {
 		delete(r.funcs, name)
 		r.stats.Invalidation++
+	}
+	onChange := r.onChange
+	r.mu.Unlock()
+	// Notify even when no entries existed: the library publishes the new
+	// source before invalidating, so the snapshot's source text for this
+	// function is stale either way.
+	if onChange != nil {
+		onChange()
 	}
 }
 

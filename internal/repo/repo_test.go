@@ -288,3 +288,81 @@ func TestBoundedEviction(t *testing.T) {
 		t.Fatalf("unbounded stats = %+v", st)
 	}
 }
+
+// TestInsertLoadedCountsSeparately pins the stats contract the
+// warm-start CI gate depends on: warm restores count under Loaded,
+// never Inserts.
+func TestInsertLoadedCountsSeparately(t *testing.T) {
+	r := New()
+	r.InsertLoaded("f", Restored(types.Signature{intScalar(1)}, nil, QualityJIT, false, 5))
+	r.Insert("f", &Entry{Sig: types.Signature{intScalar(2)}, Quality: QualityJIT})
+	st := r.Stats()
+	if st.Loaded != 1 || st.Inserts != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The restored hit count carries over for least-hit eviction.
+	es := r.Entries("f")
+	if len(es) != 2 || es[0].Hits() != 5 {
+		t.Fatalf("restored hits lost: %+v", es)
+	}
+	// Loaded entries are live lookup targets.
+	if e := r.Lookup("f", types.Signature{intScalar(1)}); e == nil {
+		t.Fatal("loaded entry must hit")
+	}
+}
+
+// TestInsertLoadedHonorsCap verifies warm loading cannot blow past the
+// per-function entry cap.
+func TestInsertLoadedHonorsCap(t *testing.T) {
+	r := NewBounded(2)
+	for i := 0; i < 5; i++ {
+		r.InsertLoaded("f", Restored(types.Signature{intScalar(float64(i))}, nil, QualityJIT, false, int64(i)))
+	}
+	st := r.Stats()
+	if st.Entries != 2 || st.Loaded != 5 || st.Evictions != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestOnChangeFiresOutsideLock verifies the snapshot-dirtying callback
+// fires on insert, replace, and invalidate — and that it can reenter
+// read methods, proving it runs outside the repository lock.
+func TestOnChangeFiresOutsideLock(t *testing.T) {
+	r := New()
+	var fired int
+	r.SetOnChange(func() {
+		fired++
+		r.Stats()         // would deadlock if called under r.mu
+		r.FunctionNames() // ditto
+	})
+	e := &Entry{Sig: types.Signature{intScalar(1)}, Quality: QualityJIT}
+	r.Insert("f", e)
+	if fired != 1 {
+		t.Fatalf("insert: fired %d", fired)
+	}
+	r.InsertAt("f", &Entry{Sig: types.Signature{intScalar(2)}, Quality: QualityJIT}, r.Generation("f"))
+	if fired != 2 {
+		t.Fatalf("insertAt: fired %d", fired)
+	}
+	r.Replace("f", e, &Entry{Sig: e.Sig, Quality: QualityOpt})
+	if fired != 3 {
+		t.Fatalf("replace: fired %d", fired)
+	}
+	r.Invalidate("f")
+	if fired != 4 {
+		t.Fatalf("invalidate: fired %d", fired)
+	}
+	// A stale InsertAt publishes nothing — and must not dirty.
+	if r.InsertAt("f", &Entry{Sig: e.Sig, Quality: QualityJIT}, 0) {
+		t.Fatal("stale insert published")
+	}
+	if fired != 4 {
+		t.Fatalf("stale insertAt dirtied the snapshot: fired %d", fired)
+	}
+	// Invalidating a function with no entries still notifies: source
+	// changed, so a persisted snapshot of it is stale.
+	r.Invalidate("never-compiled")
+	if fired != 5 {
+		t.Fatalf("empty invalidate: fired %d", fired)
+	}
+}

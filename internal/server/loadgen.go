@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -42,7 +43,15 @@ type LoadConfig struct {
 	// Addr targets an external daemon ("host:port" or full URL). Empty
 	// runs both arms against in-process servers on 127.0.0.1:0.
 	Addr string
-	Out  io.Writer
+	// RepoPath adds the warm-vs-cold arms (in-process mode only): the
+	// workload runs once against a daemon persisting to this path (the
+	// cold arm — every compile is paid and snapshotted), the daemon is
+	// drained, and a fresh daemon warm-starts from the snapshot and
+	// replays the same workload (the warm arm — zero compiles, asserted
+	// by the repo_inserts/repo_misses fields in BENCH_server.json). Any
+	// existing file at the path is removed first.
+	RepoPath string
+	Out      io.Writer
 
 	// Engine/library knobs for the in-process arms.
 	Async   bool
@@ -83,7 +92,9 @@ type LoadArm struct {
 	EvalsPerS  float64 `json:"evals_per_sec"`
 	RepoLookup int     `json:"repo_lookups"`
 	RepoHits   int     `json:"repo_hits"`
+	RepoMisses int     `json:"repo_misses"`
 	RepoInsert int     `json:"repo_inserts"`
+	RepoLoaded int     `json:"repo_loaded"`
 	HitRate    float64 `json:"hit_rate"`
 	QueueJobs  int     `json:"queue_jobs"`
 	QueueDedup int     `json:"queue_deduped"`
@@ -329,7 +340,9 @@ func (c LoadConfig) runArm(mode, base string, shared bool) (LoadArm, error) {
 	}
 	arm.RepoLookup = m.Repo.Lookups
 	arm.RepoHits = m.Repo.Hits
+	arm.RepoMisses = m.Repo.Misses
 	arm.RepoInsert = m.Repo.Inserts
+	arm.RepoLoaded = m.Repo.Loaded
 	if m.Repo.Lookups > 0 {
 		arm.HitRate = float64(m.Repo.Hits) / float64(m.Repo.Lookups)
 	}
@@ -338,8 +351,9 @@ func (c LoadConfig) runArm(mode, base string, shared bool) (LoadArm, error) {
 	return arm, nil
 }
 
-// startLocal boots an in-process daemon on a loopback port.
-func (c LoadConfig) startLocal(isolated bool) (*Server, *http.Server, string, error) {
+// startLocal boots an in-process daemon on a loopback port. repoPath
+// non-empty enables repository persistence (the warm/cold arms).
+func (c LoadConfig) startLocal(isolated bool, repoPath string) (*Server, *http.Server, string, error) {
 	srv := New(Options{
 		Engine: core.Options{
 			Tier:         core.TierJIT,
@@ -352,6 +366,7 @@ func (c LoadConfig) startLocal(isolated bool) (*Server, *http.Server, string, er
 			CompileWorkers: c.Workers,
 		},
 		Isolated:    isolated,
+		RepoPath:    repoPath,
 		MaxSessions: c.Clients*c.SessionsPerClient + 8,
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -388,7 +403,7 @@ func (c LoadConfig) Run() (*LoadReport, error) {
 		return rep, nil
 	}
 	for _, mode := range []string{"shared", "isolated"} {
-		srv, hs, base, err := c.startLocal(mode == "isolated")
+		srv, hs, base, err := c.startLocal(mode == "isolated", "")
 		if err != nil {
 			return nil, err
 		}
@@ -402,6 +417,29 @@ func (c LoadConfig) Run() (*LoadReport, error) {
 		}
 		rep.Arms = append(rep.Arms, arm)
 	}
+	// Warm-vs-cold: the same workload against a persisting daemon (cold
+	// — pays and snapshots every compile), then against a fresh daemon
+	// warm-started from that snapshot. The warm arm's repo_inserts and
+	// repo_misses must be zero: the snapshot replays the fig4 suite with
+	// no JIT compiles at all.
+	if c.RepoPath != "" {
+		os.Remove(c.RepoPath)
+		for _, mode := range []string{"cold", "warm"} {
+			srv, hs, base, err := c.startLocal(false, c.RepoPath)
+			if err != nil {
+				return nil, err
+			}
+			arm, armErr := c.runArm(mode, base, true)
+			hs.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			srv.Shutdown(ctx) // drains, then flushes the snapshot
+			cancel()
+			if armErr != nil {
+				return nil, fmt.Errorf("%s arm: %w", mode, armErr)
+			}
+			rep.Arms = append(rep.Arms, arm)
+		}
+	}
 	return rep, nil
 }
 
@@ -414,27 +452,31 @@ func (c LoadConfig) Report() (*LoadReport, error) {
 	}
 	fmt.Fprintf(c.Out, "Server experiment: %d clients x %d sessions x %d calls, size %s, %s\n",
 		c.Clients, c.SessionsPerClient, c.CallsPerSession, c.Size, mode)
-	fmt.Fprintln(c.Out, "================================================================================================")
-	fmt.Fprintf(c.Out, "%-9s %9s %7s %10s %10s %10s %10s %9s %8s %8s\n",
-		"arm", "requests", "errors", "p50", "p95", "p99", "evals/s", "hit-rate", "hits", "inserts")
-	fmt.Fprintln(c.Out, "------------------------------------------------------------------------------------------------")
+	fmt.Fprintln(c.Out, "=========================================================================================================")
+	fmt.Fprintf(c.Out, "%-9s %9s %7s %10s %10s %10s %10s %9s %8s %8s %8s\n",
+		"arm", "requests", "errors", "p50", "p95", "p99", "evals/s", "hit-rate", "hits", "inserts", "loaded")
+	fmt.Fprintln(c.Out, "---------------------------------------------------------------------------------------------------------")
 	rep, err := c.Run()
 	if err != nil {
 		return nil, err
 	}
 	for _, a := range rep.Arms {
-		fmt.Fprintf(c.Out, "%-9s %9d %7d %10s %10s %10s %10.0f %8.1f%% %8d %8d\n",
+		fmt.Fprintf(c.Out, "%-9s %9d %7d %10s %10s %10s %10.0f %8.1f%% %8d %8d %8d\n",
 			a.Mode, a.Requests, a.Errors,
 			time.Duration(a.P50US)*time.Microsecond,
 			time.Duration(a.P95US)*time.Microsecond,
 			time.Duration(a.P99US)*time.Microsecond,
-			a.EvalsPerS, 100*a.HitRate, a.RepoHits, a.RepoInsert)
+			a.EvalsPerS, 100*a.HitRate, a.RepoHits, a.RepoInsert, a.RepoLoaded)
 	}
 	fmt.Fprintln(c.Out, `
 arm:      shared = one process-wide code repository across all sessions;
           isolated = a private repository per session (the control);
+          cold/warm = a persisting daemon paying every compile, then a
+          restarted daemon replaying from its snapshot (-repo-path);
 p50..p99: client-observed eval latency quantiles over all replay requests;
 hit-rate: repository hits / lookups — shared amortizes one session's JIT
-          compile across every session replaying the same program.`)
+          compile across every session replaying the same program;
+inserts:  JIT compiles published this process lifetime (warm arm: 0);
+loaded:   entries restored from the warm-start snapshot.`)
 	return rep, nil
 }

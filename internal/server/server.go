@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mat"
 	"repro/internal/parallel"
+	"repro/internal/persist"
 	"repro/internal/repo"
 )
 
@@ -52,6 +53,15 @@ type Options struct {
 	// shared one — the control arm of the shared-repository
 	// experiment, and a containment mode for hostile multi-tenancy.
 	Isolated bool
+	// RepoPath persists the shared repository to this file: warm-start
+	// on boot (stale/corrupt snapshots fall back to a cold start), then
+	// write-behind snapshots on repository changes and a final flush on
+	// drain. Requires the shared library (ignored when Isolated — the
+	// CLI rejects the combination).
+	RepoPath string
+	// PersistDebounce overrides the write-behind debounce interval
+	// (0 = the persist package default; tests shorten it).
+	PersistDebounce time.Duration
 
 	// MaxSessions caps the session table (default 256); creates beyond
 	// the cap are rejected with 503 until the reaper or a DELETE frees
@@ -129,6 +139,12 @@ func New(opts Options) *Server {
 	}
 	if !opts.Isolated {
 		s.lib = core.NewLibrary(opts.Library)
+		if opts.RepoPath != "" {
+			// Warm start before the first session exists; any load
+			// failure is recorded in /metrics and means a cold start,
+			// never a refusal to boot.
+			s.lib.EnablePersistence(opts.RepoPath, opts.PersistDebounce)
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -389,6 +405,10 @@ type MetricsSnapshot struct {
 	BufferPool mat.PoolStats           `json:"buffer_pool"`
 	Routes     map[string]RouteMetrics `json:"routes"`
 	SharedRepo bool                    `json:"shared_repo"`
+	// Persist reports the repository persistence surface: warm-start
+	// load/reject counters and write-behind save counters. Enabled is
+	// false when the daemon runs without -repo-path (or isolated).
+	Persist persist.Metrics `json:"persist"`
 }
 
 // Metrics returns the current snapshot (also served at /metrics).
@@ -416,6 +436,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		ms.Repo = s.lib.Repo().Stats()
 		ms.Queue = s.lib.QueueStats()
 		ms.SharedRepo = true
+		ms.Persist = s.lib.PersistMetrics()
 	} else {
 		// Isolated mode: aggregate per-session repositories (live plus
 		// retired) so the hit-rate comparison reads from the same
