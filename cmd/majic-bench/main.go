@@ -68,6 +68,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "also write BENCH_fig4.json / BENCH_server.json for those experiments")
 	fuse := flag.Bool("fuse", false, "fuse elementwise operator trees into single kernels (with buffer recycling)")
 	threads := flag.Int("threads", 0, "dense-kernel worker threads (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
+	tiered := flag.Bool("tiered", false, "fig4/server: add the profile-guided tiering arm (interp-fast first call, background promotion, OSR)")
+	tierThreshold := flag.Int("tier-threshold", 0, "tiered: calls before a hot signature is promoted (0 = default)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -119,12 +121,14 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := harness.Config{
-		Size:    sz,
-		Reps:    *reps,
-		Out:     os.Stdout,
-		Seed:    *seed,
-		Fuse:    *fuse,
-		Threads: *threads,
+		Size:          sz,
+		Reps:          *reps,
+		Out:           os.Stdout,
+		Seed:          *seed,
+		Fuse:          *fuse,
+		Threads:       *threads,
+		Tiered:        *tiered,
+		TierThreshold: *tierThreshold,
 	}
 	if *benches != "" {
 		for _, name := range strings.Split(*benches, ",") {
@@ -200,6 +204,8 @@ func main() {
 			Workers:           *workers,
 			Fuse:              *fuse,
 			Threads:           *threads,
+			Tiered:            *tiered,
+			TierThreshold:     *tierThreshold,
 		}
 		run("server", func() error {
 			rep, err := lcfg.Report()

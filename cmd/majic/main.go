@@ -32,6 +32,8 @@ func main() {
 	workers := flag.Int("workers", 0, "async compile workers (0 = GOMAXPROCS; implies nothing unless -async)")
 	fuse := flag.Bool("fuse", false, "fuse elementwise operator trees into single kernels (with buffer recycling)")
 	threads := flag.Int("threads", 0, "dense-kernel worker threads (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
+	tiered := flag.Bool("tiered", false, "profile-guided tiered recompilation: interpret first, promote hot signatures to optimized code in the background, OSR hot loops mid-run (jit tier only)")
+	tierThreshold := flag.Int("tier-threshold", 0, "calls before a hot signature is promoted (0 = default)")
 	flag.Parse()
 
 	tier, err := parseTier(*tierFlag)
@@ -47,7 +49,7 @@ func main() {
 	e := core.New(core.Options{
 		Tier: tier, Platform: platform, Out: os.Stdout, Seed: *seed,
 		AsyncCompile: *async, CompileWorkers: *workers, FuseElemwise: *fuse,
-		Threads: *threads,
+		Threads: *threads, Tiered: *tiered, TierThreshold: *tierThreshold,
 	})
 	defer e.Close()
 

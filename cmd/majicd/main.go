@@ -51,6 +51,8 @@ func main() {
 	deadline := flag.Duration("deadline", 60*time.Second, "default and maximum per-eval deadline")
 	isolated := flag.Bool("isolated", false, "give every session a private repository (no sharing)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	tiered := flag.Bool("tiered", false, "profile-guided tiered recompilation: interpret first, promote hot signatures in the background, OSR hot loops mid-run (jit tier only)")
+	tierThreshold := flag.Int("tier-threshold", 0, "calls before a hot signature is promoted (0 = default)")
 	flag.Parse()
 
 	t, err := core.ParseTier(*tier)
@@ -68,14 +70,17 @@ func main() {
 
 	srv := server.New(server.Options{
 		Engine: core.Options{
-			Tier:         t,
-			FuseElemwise: *fuse,
-			Threads:      *threads,
+			Tier:          t,
+			FuseElemwise:  *fuse,
+			Threads:       *threads,
+			Tiered:        *tiered,
+			TierThreshold: *tierThreshold,
 		},
 		Library: core.LibraryOptions{
 			AsyncCompile:   *async,
 			CompileWorkers: *workers,
 			RepoMaxEntries: *repoMax,
+			Tiered:         *tiered,
 		},
 		Isolated:           *isolated,
 		RepoPath:           *repoPath,

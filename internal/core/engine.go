@@ -19,6 +19,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/parallel"
 	"repro/internal/parser"
+	"repro/internal/profile"
 )
 
 // Tier selects how function calls are executed.
@@ -154,6 +155,23 @@ type Options struct {
 	// (the default, so the harness's JIT measurements stay pure).
 	RecompileThreshold int
 
+	// Tiered enables profile-guided tiered recompilation for TierJIT:
+	// function calls start in the interpreter (first-eval latency stays
+	// interpreter-fast), cheap counters at call entries and loop
+	// back-edges feed a hotness profile per (function, widened
+	// signature), and hot signatures are recompiled in the background at
+	// QualityOpt with profile-narrowed types. Hot interpreter loops
+	// transfer mid-run into compiled code via on-stack replacement; a
+	// generation-checked guard deopts back to the interpreter on
+	// redefinition or range violation, so results are bit-identical with
+	// tiering on or off. Ignored by the other tiers (the paper-mode
+	// measurements are untouched).
+	Tiered bool
+	// TierThreshold is the hotness threshold: a signature whose call
+	// count reaches it is promoted, and an activation whose back-edge
+	// count reaches it offers OSR. 0 means DefaultTierThreshold.
+	TierThreshold int
+
 	// AsyncCompile turns the repository into a background compilation
 	// service (the paper's front end "defers function calls" while the
 	// repository compiles "behind the scenes"): speculative jobs and
@@ -224,6 +242,7 @@ func New(opts Options) *Engine {
 			AsyncCompile:   opts.AsyncCompile,
 			CompileWorkers: opts.CompileWorkers,
 			RepoMaxEntries: opts.RepoMaxEntries,
+			Tiered:         opts.Tiered,
 		})
 		e.ownLib = true
 	}
@@ -260,6 +279,27 @@ func (e *Engine) Drain() {
 // QueueStats returns the async pool's counters (zero in sync mode).
 func (e *Engine) QueueStats() compilequeue.Stats {
 	return e.lib.QueueStats()
+}
+
+// DefaultTierThreshold is the hotness threshold used when Options.Tiered
+// is set without an explicit TierThreshold: promotion after 8 calls of a
+// widened signature, OSR offer after 8 loop back-edges in one
+// activation. Low enough that a hot loop tiers up within its first eval,
+// high enough that one-shot scripts never pay a compile.
+const DefaultTierThreshold = 8
+
+// tierThreshold resolves the engine's hotness threshold.
+func (e *Engine) tierThreshold() int {
+	if e.opts.TierThreshold > 0 {
+		return e.opts.TierThreshold
+	}
+	return DefaultTierThreshold
+}
+
+// ProfileStats returns the tiering profile's counters (all zero when
+// tiered execution never ran on this library).
+func (e *Engine) ProfileStats() profile.Stats {
+	return e.lib.ProfileStats()
 }
 
 // Library returns the engine's code library (shared or private).

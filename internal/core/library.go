@@ -11,6 +11,7 @@ import (
 	"repro/internal/compilequeue"
 	"repro/internal/parser"
 	"repro/internal/persist"
+	"repro/internal/profile"
 	"repro/internal/repo"
 	"repro/internal/vm"
 )
@@ -38,6 +39,11 @@ type Library struct {
 	// queue is the async compile pool (nil in synchronous mode). It is
 	// owned by the library: engines submit jobs but never close it.
 	queue *compilequeue.Pool
+	// profiles is the tiering hotness store: per-(function, widened
+	// signature) call counts, back-edge counts, and observed-type joins.
+	// Always present (so /metrics can read it unconditionally); it only
+	// accumulates when an attached engine runs with Options.Tiered.
+	profiles *profile.Store
 
 	// writer is the write-behind snapshotter (nil unless
 	// EnablePersistence attached one) and loadStats the record of the
@@ -62,15 +68,20 @@ type LibraryOptions struct {
 	// long-lived daemon sets a cap so signature churn cannot grow the
 	// repository without bound.
 	RepoMaxEntries int
+	// Tiered starts the compile pool even without AsyncCompile: tiered
+	// execution promotes hot signatures and compiles OSR continuations
+	// in the background, which needs workers.
+	Tiered bool
 }
 
 // NewLibrary creates a shared code library.
 func NewLibrary(opts LibraryOptions) *Library {
 	l := &Library{
-		funcs: make(map[string]*ast.Function),
-		repo:  repo.NewBounded(opts.RepoMaxEntries),
+		funcs:    make(map[string]*ast.Function),
+		repo:     repo.NewBounded(opts.RepoMaxEntries),
+		profiles: profile.NewStore(),
 	}
-	if opts.AsyncCompile {
+	if opts.AsyncCompile || opts.Tiered {
 		workers := opts.CompileWorkers
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
@@ -115,6 +126,12 @@ func (l *Library) QueueStats() compilequeue.Stats {
 	}
 	return l.queue.Stats()
 }
+
+// Profiles exposes the tiering hotness store.
+func (l *Library) Profiles() *profile.Store { return l.profiles }
+
+// ProfileStats returns the tiering profile's counters for /metrics.
+func (l *Library) ProfileStats() profile.Stats { return l.profiles.Stats() }
 
 // Lookup resolves a registered function by name (nil if absent). Safe
 // from any goroutine.
@@ -191,10 +208,22 @@ func (l *Library) ExportSnapshot() *persist.Snapshot {
 	}
 	sort.Strings(names)
 	snap := &persist.Snapshot{Funcs: make([]persist.FuncState, 0, len(names))}
+	profs := make(map[string][]profile.SigDump)
+	for _, fd := range l.profiles.Export() {
+		profs[fd.Name] = fd.Sigs
+	}
 	for _, name := range names {
 		fn := l.funcs[name]
 		h := persist.HashSource(fn.Source)
 		fs := persist.FuncState{Name: name, Source: fn.Source, SrcHash: h}
+		for _, sd := range profs[name] {
+			fs.Profile = append(fs.Profile, persist.ProfileSig{
+				Key:       sd.Key,
+				Observed:  sd.Observed,
+				Entries:   sd.Entries,
+				BackEdges: sd.BackEdges,
+			})
+		}
 		for _, e := range l.repo.Entries(name) {
 			es := persist.EntryState{
 				SrcHash:     h,
@@ -270,6 +299,22 @@ func (l *Library) LoadSnapshot(snap *persist.Snapshot) persist.LoadStats {
 		}
 		l.fmu.Unlock()
 		st.LoadedFunctions++
+
+		if len(fs.Profile) > 0 {
+			// Seed the hotness profile so a previously hot signature tiers
+			// up on its first call of the new lifetime (warm starts skip
+			// the warm-up period entirely).
+			sigs := make([]profile.SigDump, 0, len(fs.Profile))
+			for _, ps := range fs.Profile {
+				sigs = append(sigs, profile.SigDump{
+					Key:       ps.Key,
+					Observed:  ps.Observed,
+					Entries:   ps.Entries,
+					BackEdges: ps.BackEdges,
+				})
+			}
+			l.profiles.Load(fs.Name, l.repo.Generation(fs.Name), sigs)
+		}
 
 		for _, es := range fs.Entries {
 			if es.SrcHash != fs.SrcHash {

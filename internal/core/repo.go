@@ -7,7 +7,9 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/codegen"
+	"repro/internal/interp"
 	"repro/internal/mat"
+	"repro/internal/profile"
 	"repro/internal/repo"
 	"repro/internal/types"
 	"repro/internal/vm"
@@ -98,6 +100,9 @@ func (r *repoState) precompileSync(fn *ast.Function) {
 
 func (r *repoState) invoke(fn *ast.Function, args []*mat.Value, nout int) ([]*mat.Value, error) {
 	e := r.e
+	if e.opts.Tiered && e.opts.Tier == TierJIT {
+		return r.invokeTiered(fn, args, nout)
+	}
 	sig := types.SignatureOf(args)
 	if entry := r.r.Lookup(fn.Name, sig); entry != nil {
 		r.maybeUpgrade(fn, entry)
@@ -254,6 +259,111 @@ func (r *repoState) runEntry(entry *repo.Entry, fn *ast.Function, args []*mat.Va
 		outs = outs[:nout]
 	}
 	return outs, nil
+}
+
+// invokeTiered is the profile-guided execution path (Options.Tiered,
+// TierJIT only). Calls start in the interpreter — a repository miss
+// never compiles on the caller's goroutine, so first-eval latency stays
+// interpreter-fast — while every call feeds the hotness profile for its
+// (function, widened signature) bucket. A bucket that crosses the
+// threshold enqueues a background recompile at QualityOpt with the
+// profile-narrowed joined signature (maybePromote), and the published
+// entry serves all later calls. While a call is still interpreting, the
+// activation carries a tiered Frame: loop back-edges count toward the
+// same bucket, and a hot loop transfers mid-run into compiled code via
+// on-stack replacement (see osr.go).
+func (r *repoState) invokeTiered(fn *ast.Function, args []*mat.Value, nout int) ([]*mat.Value, error) {
+	e := r.e
+	sig := types.SignatureOf(args)
+	if entry := r.r.Lookup(fn.Name, sig); entry != nil && entry.Code != nil {
+		return r.runEntry(entry, fn, args, nout)
+	}
+	// Interpret-only lookup hits (cached unsupported decisions) fall
+	// through: the interpreter serves them, and the profile keeps
+	// counting in case a narrower profiled signature compiles where the
+	// widened one could not.
+	gen := r.r.Generation(fn.Name)
+	sp := e.lib.profiles.Func(fn.Name, gen).Sig(widen(sig).Key())
+	sp.Observe(sig)
+	r.maybePromote(fn.Name, sp, gen, len(sig))
+
+	fr := &interp.Frame{
+		Fn:        fn,
+		Nout:      nout,
+		Host:      e,
+		Gen:       gen,
+		Threshold: int64(e.tierThreshold()),
+		BackEdges: sp.BackEdgeCounter(),
+		Prof:      sp,
+	}
+	depth := atomic.AddInt32(&r.callDepth, 1)
+	var t0 time.Time
+	if depth == 1 {
+		t0 = time.Now()
+	}
+	outs, err := e.in.CallFunctionTiered(fn, args, nout, e.globals, fr)
+	if depth == 1 {
+		atomic.AddInt64(&e.timing.Exec, time.Since(t0).Nanoseconds())
+	}
+	atomic.AddInt32(&r.callDepth, -1)
+	if err != nil {
+		return nil, err
+	}
+	if len(outs) > nout {
+		outs = outs[:nout]
+	}
+	return outs, nil
+}
+
+// maybePromote enqueues the background tier-up once a signature bucket
+// crosses the hotness threshold. The compile signature is the join of
+// every exact signature observed — strictly narrower than the widened
+// lookup key, so ranges and shapes the workload never exceeds stay
+// available to the optimizer — except on the final promotion round,
+// which compiles the fully widened form so the entry stops churning.
+func (r *repoState) maybePromote(name string, sp *profile.SigProfile, gen uint64, arity int) {
+	e := r.e
+	if !sp.ShouldPromote(int64(e.tierThreshold())) {
+		return
+	}
+	csig := sp.Observed()
+	if len(csig) == 0 {
+		csig = topSignature(arity)
+	}
+	if sp.PromotionRound() >= profile.MaxPromotions-1 {
+		csig = widen(csig)
+	}
+	job := func() error {
+		if e.LookupFunction(name) == nil || r.r.Generation(name) != gen {
+			sp.PromotionDone()
+			return nil
+		}
+		if r.r.Covered(name, csig) {
+			sp.PromotionDone()
+			return nil
+		}
+		code, err := e.compile(e.LookupFunction(name), csig, pipelineOpts{optimize: true})
+		if err != nil {
+			if _, unsupported := err.(*codegen.ErrUnsupported); unsupported {
+				// Cache the decision so plain lookups stop missing, and
+				// stop promoting this bucket.
+				r.r.InsertAt(name, &repo.Entry{Sig: topSignature(arity), Quality: repo.QualityInterp}, gen)
+			}
+			sp.PromotionFailed()
+			return nil
+		}
+		if r.r.InsertAt(name, &repo.Entry{Sig: csig, Code: code, Quality: repo.QualityOpt}, gen) {
+			e.lib.profiles.CountPromotion()
+		}
+		sp.PromotionDone()
+		return nil
+	}
+	if e.lib.queue != nil {
+		key := fmt.Sprintf("tier\x00%s\x00%s\x00%d", name, csig.Key(), gen)
+		e.lib.queue.Do(key, job)
+	} else {
+		job()
+	}
 }
 
 // maybeUpgrade recompiles a hot JIT entry with the optimizing backend,

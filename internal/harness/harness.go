@@ -16,8 +16,11 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/compilequeue"
 	"repro/internal/core"
 	"repro/internal/mat"
+	"repro/internal/profile"
+	"repro/internal/repo"
 )
 
 // Config controls a harness run.
@@ -37,6 +40,15 @@ type Config struct {
 	// harness builds (0 = process default). Results are byte-identical
 	// across thread counts; only timings change.
 	Threads int
+	// Tiered adds the profile-guided tiering arm to the speedup charts:
+	// each benchmark also runs under -tiered (interpreter first call,
+	// background promotion to optimized code, OSR for hot loops), and
+	// the rows carry the tier-up counters. Off by default so paper-mode
+	// figures are untouched.
+	Tiered bool
+	// TierThreshold overrides the promotion threshold for the tiered
+	// arm (0 = engine default).
+	TierThreshold int
 }
 
 func (c Config) reps() int {
@@ -147,12 +159,90 @@ func (c Config) MeasureTier(b *bench.Benchmark, opts core.Options) (time.Duratio
 	return best, nil
 }
 
+// TierStats bundles the per-tier compile and upgrade counters for one
+// tiered measurement: repository traffic (inserts, replaces, hits),
+// background-queue traffic, and the profile/OSR counters.
+type TierStats struct {
+	Repo    repo.Stats         `json:"repo"`
+	Queue   compilequeue.Stats `json:"queue"`
+	Profile profile.Stats      `json:"profile"`
+}
+
+// TieredResult is the tiered arm of one speedup row: the first call
+// (which must stay interpreter-fast — tiering never pays compile
+// latency up front) and a steady-state call after background promotion
+// landed.
+type TieredResult struct {
+	First   time.Duration
+	Steady  time.Duration
+	Speedup float64 // interp baseline / steady
+	Stats   TierStats
+}
+
+// MeasureTiered measures the tiering pipeline end-to-end on one
+// benchmark: a fresh engine per repetition, the unwarmed first call
+// timed as-is, then enough calls to cross the promotion threshold, a
+// queue drain, and a steady-state call against the promoted entry.
+// Times are best-of-reps; the counters come from the last repetition.
+func (c Config) MeasureTiered(b *bench.Benchmark, platform core.Platform) (TieredResult, error) {
+	res := TieredResult{First: time.Duration(math.MaxInt64), Steady: time.Duration(math.MaxInt64)}
+	for r := 0; r < c.reps(); r++ {
+		e, err := c.newEngine(b, core.Options{
+			Tier: core.TierJIT, Platform: platform,
+			Tiered: true, TierThreshold: c.TierThreshold,
+		})
+		if err != nil {
+			return TieredResult{}, err
+		}
+		first, err := runOnce(e, b, b.Args(c.Size))
+		if err != nil {
+			e.Close()
+			return TieredResult{}, err
+		}
+		// Cross the promotion threshold (the first call already counted),
+		// let the background compiles land, then time the promoted path.
+		threshold := c.TierThreshold
+		if threshold <= 0 {
+			threshold = core.DefaultTierThreshold
+		}
+		for i := 1; i < threshold; i++ {
+			if _, err := runOnce(e, b, b.Args(c.Size)); err != nil {
+				e.Close()
+				return TieredResult{}, err
+			}
+		}
+		e.Drain()
+		steady, err := runOnce(e, b, b.Args(c.Size))
+		if err != nil {
+			e.Close()
+			return TieredResult{}, err
+		}
+		if first < res.First {
+			res.First = first
+		}
+		if steady < res.Steady {
+			res.Steady = steady
+		}
+		if r == c.reps()-1 {
+			res.Stats = TierStats{
+				Repo:    e.Library().Repo().Stats(),
+				Queue:   e.QueueStats(),
+				Profile: e.ProfileStats(),
+			}
+		}
+		e.Close()
+	}
+	return res, nil
+}
+
 // Speedup is one benchmark's speedup set for a figure.
 type Speedup struct {
 	Bench   string
 	Interp  time.Duration
 	Times   map[core.Tier]time.Duration
 	Speedup map[core.Tier]float64
+	// Tiered is the profile-guided tiering arm (nil unless Config.Tiered).
+	Tiered *TieredResult
 }
 
 var figureTiers = []core.Tier{core.TierMCC, core.TierFalcon, core.TierJIT, core.TierSpec}
@@ -180,6 +270,14 @@ func (c Config) SpeedupChart(platform core.Platform) ([]Speedup, error) {
 			s.Times[tier] = d
 			s.Speedup[tier] = float64(ti) / float64(d)
 		}
+		if c.Tiered {
+			tr, err := c.MeasureTiered(b, platform)
+			if err != nil {
+				return nil, err
+			}
+			tr.Speedup = float64(ti) / float64(tr.Steady)
+			s.Tiered = &tr
+		}
 		out = append(out, s)
 	}
 	return out, nil
@@ -195,6 +293,22 @@ func PrintSpeedups(w io.Writer, title string, rows []Speedup) {
 			r.Bench, r.Interp.Round(time.Microsecond),
 			r.Speedup[core.TierMCC], r.Speedup[core.TierFalcon],
 			r.Speedup[core.TierJIT], r.Speedup[core.TierSpec])
+	}
+	if len(rows) > 0 && rows[0].Tiered != nil {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "tiered arm (profile-guided recompilation; first call unwarmed, steady after promotion):")
+		fmt.Fprintf(w, "%-10s %12s %12s %9s %7s %7s %7s %7s\n",
+			"benchmark", "first", "steady", "speedup", "promo", "osr", "deopt", "repl")
+		for _, r := range rows {
+			tr := r.Tiered
+			if tr == nil {
+				continue
+			}
+			fmt.Fprintf(w, "%-10s %12s %12s %8.2fx %7d %7d %7d %7d\n",
+				r.Bench, tr.First.Round(time.Microsecond), tr.Steady.Round(time.Microsecond),
+				tr.Speedup, tr.Stats.Profile.Promotions, tr.Stats.Profile.OSRTransfers,
+				tr.Stats.Profile.OSRDeopts, tr.Stats.Repo.Replaces)
+		}
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "log-scale speedup (each column 0.1x → 1000x):")
@@ -214,6 +328,16 @@ type SpeedupRowJSON struct {
 	InterpUS int64              `json:"interp_us"`
 	TimesUS  map[string]int64   `json:"times_us"`
 	Speedup  map[string]float64 `json:"speedup"`
+	Tiered   *TieredRowJSON     `json:"tiered,omitempty"`
+}
+
+// TieredRowJSON is the tiered arm of one JSON row: latencies, the
+// steady-state speedup, and the per-tier compile/upgrade counters.
+type TieredRowJSON struct {
+	FirstUS  int64     `json:"first_us"`
+	SteadyUS int64     `json:"steady_us"`
+	Speedup  float64   `json:"speedup"`
+	Stats    TierStats `json:"stats"`
 }
 
 // SpeedupsJSON converts figure rows for JSON output, keying tiers by
@@ -232,6 +356,14 @@ func SpeedupsJSON(rows []Speedup) []SpeedupRowJSON {
 		}
 		for tier, s := range r.Speedup {
 			j.Speedup[tier.String()] = s
+		}
+		if r.Tiered != nil {
+			j.Tiered = &TieredRowJSON{
+				FirstUS:  r.Tiered.First.Microseconds(),
+				SteadyUS: r.Tiered.Steady.Microseconds(),
+				Speedup:  r.Tiered.Speedup,
+				Stats:    r.Tiered.Stats,
+			}
 		}
 		out = append(out, j)
 	}

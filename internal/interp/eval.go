@@ -227,7 +227,7 @@ func (in *Interp) evalCallCtx(x *ast.Call, env *Env, nout int, ctx *evalCtx) ([]
 // argument binding in a fresh frame.
 func (in *Interp) CallFunction(fn *ast.Function, args []*mat.Value, nout int, globals map[string]*mat.Value) ([]*mat.Value, error) {
 	if len(args) > len(fn.Ins) {
-		return nil, fmt.Errorf("%s: too many input arguments", fn.Name)
+		return nil, tooManyArgs(fn)
 	}
 	env := NewEnv(globals)
 	for i, a := range args {
@@ -242,6 +242,20 @@ func (in *Interp) CallFunction(fn *ast.Function, args []*mat.Value, nout int, gl
 	if err := in.ExecStmts(fn.Body, env); err != nil {
 		return nil, err
 	}
+	return collectOuts(fn, env, nout)
+}
+
+func tooManyArgs(fn *ast.Function) error {
+	return fmt.Errorf("%s: too many input arguments", fn.Name)
+}
+
+func errLooseBreak() error {
+	return fmt.Errorf("break/continue outside a loop")
+}
+
+// collectOuts extracts a finished activation's output values from its
+// environment.
+func collectOuts(fn *ast.Function, env *Env, nout int) ([]*mat.Value, error) {
 	if nout < 1 {
 		nout = 1
 	}

@@ -1,0 +1,168 @@
+// Tiered-execution support: the interpreter's half of profile-guided
+// recompilation with on-stack replacement. The engine attaches a Frame
+// to a function activation; the loop safepoints that already poll the
+// cancel flag then also bump the frame's back-edge counter (one atomic
+// add — no new work on untiered activations beyond a nil check), and a
+// hot activation offers its host the chance to transfer mid-loop into
+// compiled code.
+package interp
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/mat"
+)
+
+// OSRResult is the host's answer to a transfer offer.
+type OSRResult uint8
+
+const (
+	// OSRNo: no compiled continuation yet (or a guard failed); keep
+	// interpreting and offer again at the next back-edge.
+	OSRNo OSRResult = iota
+	// OSRNever: this site can never transfer (nested loop, globals,
+	// uncompilable continuation); stop offering it.
+	OSRNever
+	// OSRDone: the continuation ran to function return; outs are the
+	// function's return values.
+	OSRDone
+)
+
+// OSRHost is implemented by the engine when tiered execution is on.
+type OSRHost interface {
+	// TryOSR is offered a hot activation at a loop back-edge safepoint.
+	// loop is the statement whose back-edge fired; env is the live
+	// frame; forState is non-nil for counted-range for loops and
+	// carries the induction state at the safepoint. On OSRDone the
+	// returned values are the function's outputs (the continuation ran
+	// to return) and the interpreter unwinds the activation.
+	TryOSR(fr *Frame, loop ast.Stmt, env *Env, forState *ForOSR) ([]*mat.Value, OSRResult, error)
+}
+
+// ForOSR is the induction state of a counted-range for loop at a
+// back-edge safepoint: the interpreter is about to run iteration K of
+// `for Var = Lo : Step : Hi`, whose trip count is N+1 (K and N use the
+// interpreter's own integer induction variable, so a continuation that
+// re-derives Var as Lo + k*Step reproduces the interpreted values bit
+// for bit).
+type ForOSR struct {
+	Var      string
+	Lo, Step float64
+	K, N     int
+}
+
+// Frame is the tiered state of one function activation. It is created
+// by the engine per call (single goroutine); only BackEdges is shared
+// with the profile store.
+type Frame struct {
+	Fn   *ast.Function
+	Nout int
+	Host OSRHost
+	// Gen is the repository generation the activation started under;
+	// OSR entries compiled at another generation must not transfer in.
+	Gen uint64
+	// Threshold is the back-edge count after which the activation is
+	// hot; <= 0 disables OSR (counters still feed the profile).
+	Threshold int64
+	// BackEdges is the shared profile counter (may be nil).
+	BackEdges *atomic.Int64
+	// Prof is the engine's per-signature profile record, carried
+	// opaquely so the interpreter stays decoupled from the profile
+	// package.
+	Prof any
+
+	count   int64
+	denied  map[ast.Stmt]bool
+	osrOuts []*mat.Value
+}
+
+// tick counts one back-edge and reports whether the activation is hot
+// enough to offer the host a transfer at this loop.
+func (fr *Frame) tick(loop ast.Stmt) bool {
+	fr.count++
+	if fr.BackEdges != nil {
+		fr.BackEdges.Add(1)
+	}
+	return fr.Host != nil && fr.Threshold > 0 && fr.count >= fr.Threshold && !fr.denied[loop]
+}
+
+// deny stops further transfer offers for a loop this activation.
+func (fr *Frame) deny(loop ast.Stmt) {
+	if fr.denied == nil {
+		fr.denied = make(map[ast.Stmt]bool)
+	}
+	fr.denied[loop] = true
+}
+
+// offer runs one transfer attempt and translates the host's answer
+// into the interpreter's control signal.
+func (fr *Frame) offer(loop ast.Stmt, env *Env, fs *ForOSR) (ctl, error) {
+	outs, res, err := fr.Host.TryOSR(fr, loop, env, fs)
+	if err != nil {
+		return ctlNone, err
+	}
+	switch res {
+	case OSRDone:
+		fr.osrOuts = outs
+		return ctlOSR, nil
+	case OSRNever:
+		fr.deny(loop)
+	}
+	return ctlNone, nil
+}
+
+// LiveVars returns the frame-local variable names, sorted — the OSR
+// frame-materialization order.
+func (e *Env) LiveVars() []string {
+	out := make([]string, 0, len(e.vars))
+	for n := range e.vars {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasGlobals reports whether any name in this frame is bound to the
+// global workspace (such frames never transfer: compiled code has no
+// global-workspace access).
+func (e *Env) HasGlobals() bool {
+	for _, g := range e.isGlob {
+		if g {
+			return true
+		}
+	}
+	return false
+}
+
+// CallFunctionTiered is CallFunction with a tiered-execution frame
+// attached: loop safepoints feed fr's counters, and a hot loop may
+// transfer the activation into compiled code mid-run, in which case the
+// compiled continuation's outputs are returned.
+func (in *Interp) CallFunctionTiered(fn *ast.Function, args []*mat.Value, nout int, globals map[string]*mat.Value, fr *Frame) ([]*mat.Value, error) {
+	if len(args) > len(fn.Ins) {
+		return nil, tooManyArgs(fn)
+	}
+	env := NewEnv(globals)
+	env.frame = fr
+	for i, a := range args {
+		a.MarkShared()
+		env.Bind(fn.Ins[i], a)
+	}
+	env.Bind("nargin", mat.IntScalar(float64(len(args))))
+	env.Bind("nargout", mat.IntScalar(float64(nout)))
+	c, err := in.execBlock(fn.Body, env)
+	if err != nil {
+		return nil, err
+	}
+	if c == ctlOSR {
+		// The compiled continuation already ran to the function's
+		// return and produced the outputs.
+		return fr.osrOuts, nil
+	}
+	if c == ctlBreak || c == ctlContinue {
+		return nil, errLooseBreak()
+	}
+	return collectOuts(fn, env, nout)
+}

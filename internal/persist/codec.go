@@ -35,7 +35,7 @@ import (
 // Format constants. Version bumps whenever the payload layout changes.
 const (
 	magic        = "MJRP"
-	Version      = 1
+	Version      = 2                     // v2 added the per-function tiering profile section
 	headerLen    = 4 + 2 + 2 + 8 + 4 + 4 // magic, version, flags, fingerprint, payload len, payload crc
 	maxSnapshotB = 1 << 30               // decode refuses payloads beyond 1 GiB
 )
@@ -66,6 +66,20 @@ type FuncState struct {
 	Source  string
 	SrcHash uint64
 	Entries []EntryState
+	// Profile is the function's tiering profile (per widened signature):
+	// persisted hotness means a warm-started process re-promotes hot
+	// signatures immediately instead of re-warming from zero. Promotion
+	// latches and OSR state are not persisted — they are re-derived
+	// against the new lifetime's code.
+	Profile []ProfileSig
+}
+
+// ProfileSig is one persisted (widened signature → hotness) record.
+type ProfileSig struct {
+	Key       string
+	Observed  types.Signature
+	Entries   int64
+	BackEdges int64
 }
 
 // EntryState is one compiled repository entry in serializable form.
@@ -221,6 +235,13 @@ func Encode(s *Snapshot) []byte {
 		e.u32(uint32(len(fs.Entries)))
 		for _, es := range fs.Entries {
 			e.entry(es)
+		}
+		e.u32(uint32(len(fs.Profile)))
+		for _, ps := range fs.Profile {
+			e.str(ps.Key)
+			e.sig(ps.Observed)
+			e.i64(ps.Entries)
+			e.i64(ps.BackEdges)
 		}
 	}
 	payload := e.buf
@@ -514,6 +535,15 @@ func Decode(data []byte) (*Snapshot, error) {
 		ne := d.count(8 + 4 + 1 + 1 + 8 + 1) // minimal EntryState
 		for j := 0; j < ne && d.err == nil; j++ {
 			fs.Entries = append(fs.Entries, d.entry())
+		}
+		np := d.count(4 + 4 + 8 + 8) // minimal ProfileSig
+		for j := 0; j < np && d.err == nil; j++ {
+			var ps ProfileSig
+			ps.Key = d.str()
+			ps.Observed = d.sig()
+			ps.Entries = d.i64()
+			ps.BackEdges = d.i64()
+			fs.Profile = append(fs.Profile, ps)
 		}
 		s.Funcs = append(s.Funcs, fs)
 	}

@@ -14,7 +14,8 @@ import (
 
 // testSnapshot exercises every encodable field: NaN/Inf range bounds,
 // complex constants, empty and non-empty pools, colon markers, spilled
-// parameter bindings, interpret-only entries, and multi-function files.
+// parameter bindings, interpret-only entries, tiering profiles, and
+// multi-function files.
 func testSnapshot() *Snapshot {
 	prog := &ir.Prog{
 		Name: "f",
@@ -59,6 +60,10 @@ func testSnapshot() *Snapshot {
 			Entries: []EntryState{
 				{SrcHash: h, Sig: sig, Quality: 1, Hits: 42, Prog: prog},
 				{SrcHash: h, Sig: types.Signature{types.Top}, Quality: 0, Speculative: true, Hits: 7},
+			},
+			Profile: []ProfileSig{
+				{Key: sig.Key(), Observed: sig, Entries: 17, BackEdges: 4096},
+				{Key: "top", Observed: types.Signature{types.Top}, Entries: 1},
 			},
 		},
 		{Name: "g", Source: src2, SrcHash: h2},

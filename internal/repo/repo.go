@@ -74,6 +74,7 @@ type Stats struct {
 	Invalidation int `json:"invalidations"`
 	StaleDrops   int `json:"stale_drops"` // async publishes dropped by a generation mismatch
 	Evictions    int `json:"evictions"`   // entries evicted by the per-function cap
+	Replaces     int `json:"replaces"`    // upgrade swaps (tier-ups and hot recompiles)
 	Loaded       int `json:"loaded"`      // entries restored from a warm-start snapshot (not Inserts)
 	Functions    int `json:"functions"`   // functions with at least one live entry (snapshot)
 	Entries      int `json:"entries"`     // live compiled entries across all functions (snapshot)
@@ -265,10 +266,13 @@ func (r *Repository) insertLocked(name string, e *Entry) {
 	}
 }
 
-// evictLocked drops the least-hit entry for name (oldest wins a tie),
-// sparing the just-inserted entry keep — a fresh entry always has zero
-// hits, so without the exemption every insert at the cap would evict
-// itself and the repository could never turn over its working set.
+// evictLocked drops the least-hit entry for name, sparing the
+// just-inserted entry keep — a fresh entry always has zero hits, so
+// without the exemption every insert at the cap would evict itself and
+// the repository could never turn over its working set. At equal hit
+// counts, lower-quality entries go first (an interpret-only marker is
+// just a cached decision; compiled code cost a JIT or optimizing
+// compile), and the oldest entry wins a full tie.
 func (r *Repository) evictLocked(name string, keep *Entry) {
 	entries := r.funcs[name]
 	victim := -1
@@ -278,7 +282,8 @@ func (r *Repository) evictLocked(name string, keep *Entry) {
 			continue
 		}
 		h := e.Hits()
-		if victim == -1 || h < victimHits {
+		if victim == -1 || h < victimHits ||
+			(h == victimHits && e.Quality < entries[victim].Quality) {
 			victim, victimHits = i, h
 		}
 	}
@@ -301,6 +306,7 @@ func (r *Repository) Replace(name string, old, repl *Entry) bool {
 		if e == old {
 			atomic.StoreInt64(&repl.hits, old.Hits())
 			r.funcs[name][i] = repl
+			r.stats.Replaces++
 			onChange := r.onChange
 			r.mu.Unlock()
 			if onChange != nil {

@@ -188,8 +188,8 @@ func TestReplace(t *testing.T) {
 	if got.Hits() != 3 { // 2 carried over + this lookup
 		t.Errorf("hits not carried over: %d", got.Hits())
 	}
-	if st := r.Stats(); st.Inserts != 1 {
-		t.Errorf("Replace must not count as Insert: %+v", st)
+	if st := r.Stats(); st.Inserts != 1 || st.Replaces != 1 {
+		t.Errorf("Replace must count under Replaces, not Inserts: %+v", st)
 	}
 
 	// Invalidation wins over a racing upgrade.
@@ -199,6 +199,9 @@ func TestReplace(t *testing.T) {
 	}
 	if e := r.Lookup("f", types.Signature{intScalar(4)}); e != nil {
 		t.Fatal("Replace resurrected an invalidated entry")
+	}
+	if st := r.Stats(); st.Replaces != 1 {
+		t.Errorf("failed Replace must not count: %+v", st)
 	}
 }
 
@@ -286,6 +289,58 @@ func TestBoundedEviction(t *testing.T) {
 	}
 	if st := u.Stats(); st.Evictions != 0 || st.Entries != 10 {
 		t.Fatalf("unbounded stats = %+v", st)
+	}
+}
+
+// TestEvictionPrefersInterpEntries pins the tiering-aware tie-break: at
+// equal hit counts, a QualityInterp placeholder (an uncompilable
+// signature the tiering pipeline parked) is evicted before compiled
+// code — compiled entries are expensive to rebuild, placeholders are
+// free.
+func TestEvictionPrefersInterpEntries(t *testing.T) {
+	r := NewBounded(3)
+	mk := func(v float64, q Quality) *Entry {
+		return &Entry{Sig: types.Signature{intScalar(v)}, Quality: q}
+	}
+	opt := mk(1, QualityOpt)
+	interp := mk(2, QualityInterp)
+	jit := mk(3, QualityJIT)
+	r.Insert("f", opt)    // oldest
+	r.Insert("f", interp) // same hits (zero) as its neighbours
+	r.Insert("f", jit)
+	r.Insert("f", mk(4, QualityOpt)) // forces one eviction
+	for _, e := range r.Entries("f") {
+		if e == interp {
+			t.Fatal("QualityInterp entry survived over compiled code at equal hits")
+		}
+	}
+	for _, want := range []*Entry{opt, jit} {
+		found := false
+		for _, e := range r.Entries("f") {
+			if e == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("compiled entry %v was evicted instead of the placeholder", want.Sig)
+		}
+	}
+
+	// Hit counts still dominate: a hot placeholder outlives cold
+	// compiled code.
+	r2 := NewBounded(2)
+	hotInterp := mk(1, QualityInterp)
+	r2.Insert("g", hotInterp)
+	for i := 0; i < 5; i++ {
+		r2.Lookup("g", types.Signature{intScalar(1)})
+	}
+	coldOpt := mk(2, QualityOpt)
+	r2.Insert("g", coldOpt)
+	r2.Insert("g", mk(3, QualityJIT))
+	for _, e := range r2.Entries("g") {
+		if e == coldOpt {
+			t.Fatal("cold compiled entry survived over a hot placeholder")
+		}
 	}
 }
 

@@ -58,6 +58,11 @@ type LoadConfig struct {
 	Workers int
 	Fuse    bool
 	Threads int
+	// Tiered runs the in-process daemons with profile-guided tiered
+	// recompilation; TierThreshold overrides the promotion threshold
+	// (0 = engine default).
+	Tiered        bool
+	TierThreshold int
 }
 
 func (c LoadConfig) defaults() LoadConfig {
@@ -98,6 +103,13 @@ type LoadArm struct {
 	HitRate    float64 `json:"hit_rate"`
 	QueueJobs  int     `json:"queue_jobs"`
 	QueueDedup int     `json:"queue_deduped"`
+	// Tiering counters (non-zero only under LoadConfig.Tiered): entry
+	// upgrades swapped into the repository, background promotions, and
+	// mid-loop OSR transfers/deopts across all sessions.
+	RepoReplaces int   `json:"repo_replaces"`
+	Promotions   int64 `json:"promotions"`
+	OSRTransfers int64 `json:"osr_transfers"`
+	OSRDeopts    int64 `json:"osr_deopts"`
 }
 
 // LoadReport is the experiment result (the BENCH_server.json payload).
@@ -108,6 +120,7 @@ type LoadReport struct {
 	Size              string    `json:"size"`
 	Benchmarks        []string  `json:"benchmarks"`
 	Async             bool      `json:"async"`
+	Tiered            bool      `json:"tiered"`
 	Arms              []LoadArm `json:"arms"`
 }
 
@@ -348,6 +361,10 @@ func (c LoadConfig) runArm(mode, base string, shared bool) (LoadArm, error) {
 	}
 	arm.QueueJobs = m.Queue.Submitted
 	arm.QueueDedup = m.Queue.Deduped
+	arm.RepoReplaces = m.Repo.Replaces
+	arm.Promotions = m.Profile.Promotions
+	arm.OSRTransfers = m.Profile.OSRTransfers
+	arm.OSRDeopts = m.Profile.OSRDeopts
 	return arm, nil
 }
 
@@ -356,14 +373,17 @@ func (c LoadConfig) runArm(mode, base string, shared bool) (LoadArm, error) {
 func (c LoadConfig) startLocal(isolated bool, repoPath string) (*Server, *http.Server, string, error) {
 	srv := New(Options{
 		Engine: core.Options{
-			Tier:         core.TierJIT,
-			Seed:         1,
-			FuseElemwise: c.Fuse,
-			Threads:      c.Threads,
+			Tier:          core.TierJIT,
+			Seed:          1,
+			FuseElemwise:  c.Fuse,
+			Threads:       c.Threads,
+			Tiered:        c.Tiered,
+			TierThreshold: c.TierThreshold,
 		},
 		Library: core.LibraryOptions{
 			AsyncCompile:   c.Async,
 			CompileWorkers: c.Workers,
+			Tiered:         c.Tiered,
 		},
 		Isolated:    isolated,
 		RepoPath:    repoPath,
@@ -389,6 +409,7 @@ func (c LoadConfig) Run() (*LoadReport, error) {
 		Size:              c.Size.String(),
 		Benchmarks:        c.Benchmarks,
 		Async:             c.Async,
+		Tiered:            c.Tiered,
 	}
 	if c.Addr != "" {
 		base := c.Addr

@@ -37,6 +37,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/parallel"
 	"repro/internal/persist"
+	"repro/internal/profile"
 	"repro/internal/repo"
 )
 
@@ -118,8 +119,9 @@ type Server struct {
 	// retiredRepo/retiredQueue accumulate counters from destroyed
 	// sessions in isolated mode, so /metrics hit rates survive session
 	// churn (gauges — live functions/entries — are not carried over).
-	retiredRepo  repo.Stats
-	retiredQueue compilequeue.Stats
+	retiredRepo    repo.Stats
+	retiredQueue   compilequeue.Stats
+	retiredProfile profile.Stats
 
 	reaperStop chan struct{}
 	reaperDone chan struct{}
@@ -245,9 +247,11 @@ func (s *Server) retire(sess *session) {
 	if s.lib == nil {
 		st := sess.eng.Repo().Stats()
 		qs := sess.eng.QueueStats()
+		ps := sess.eng.ProfileStats()
 		s.mu.Lock()
 		addRepoCounters(&s.retiredRepo, st)
 		addQueueCounters(&s.retiredQueue, qs)
+		addProfileCounters(&s.retiredProfile, ps)
 		s.mu.Unlock()
 	}
 	sess.close()
@@ -264,6 +268,19 @@ func addRepoCounters(dst *repo.Stats, st repo.Stats) {
 	dst.Invalidation += st.Invalidation
 	dst.StaleDrops += st.StaleDrops
 	dst.Evictions += st.Evictions
+	dst.Replaces += st.Replaces
+}
+
+// addProfileCounters folds one engine's tiering counters (not its live
+// function/signature gauges) into an aggregate.
+func addProfileCounters(dst *profile.Stats, ps profile.Stats) {
+	dst.Entries += ps.Entries
+	dst.BackEdges += ps.BackEdges
+	dst.Promotions += ps.Promotions
+	dst.OSRRequests += ps.OSRRequests
+	dst.OSRCompiles += ps.OSRCompiles
+	dst.OSRTransfers += ps.OSRTransfers
+	dst.OSRDeopts += ps.OSRDeopts
 }
 
 func addQueueCounters(dst *compilequeue.Stats, qs compilequeue.Stats) {
@@ -396,8 +413,12 @@ type MetricsSnapshot struct {
 		Rejected uint64 `json:"rejected"`
 		Inflight int64  `json:"inflight"`
 	} `json:"evals"`
-	Repo     repo.Stats         `json:"repo"`
-	Queue    compilequeue.Stats `json:"queue"`
+	Repo  repo.Stats         `json:"repo"`
+	Queue compilequeue.Stats `json:"queue"`
+	// Profile reports the tiering pipeline: safepoint counts, promotions
+	// to QualityOpt, and on-stack-replacement activity. All zero when no
+	// session runs tiered.
+	Profile  profile.Stats `json:"profile"`
 	Parallel struct {
 		Threads int `json:"threads"`
 		Workers int `json:"workers"`
@@ -420,7 +441,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 	for _, sess := range s.sessions {
 		sessions = append(sessions, sess)
 	}
-	retiredRepo, retiredQueue := s.retiredRepo, s.retiredQueue
+	retiredRepo, retiredQueue, retiredProfile := s.retiredRepo, s.retiredQueue, s.retiredProfile
 	s.mu.Unlock()
 
 	ms.Sessions.Created = s.metrics.sessionsCreated.Load()
@@ -435,19 +456,24 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if s.lib != nil {
 		ms.Repo = s.lib.Repo().Stats()
 		ms.Queue = s.lib.QueueStats()
+		ms.Profile = s.lib.ProfileStats()
 		ms.SharedRepo = true
 		ms.Persist = s.lib.PersistMetrics()
 	} else {
 		// Isolated mode: aggregate per-session repositories (live plus
 		// retired) so the hit-rate comparison reads from the same
 		// endpoint.
-		ms.Repo, ms.Queue = retiredRepo, retiredQueue
+		ms.Repo, ms.Queue, ms.Profile = retiredRepo, retiredQueue, retiredProfile
 		for _, sess := range sessions {
 			st := sess.eng.Repo().Stats()
 			addRepoCounters(&ms.Repo, st)
 			ms.Repo.Functions += st.Functions
 			ms.Repo.Entries += st.Entries
 			addQueueCounters(&ms.Queue, sess.eng.QueueStats())
+			ps := sess.eng.ProfileStats()
+			addProfileCounters(&ms.Profile, ps)
+			ms.Profile.Functions += ps.Functions
+			ms.Profile.Signatures += ps.Signatures
 		}
 	}
 	ms.Parallel.Threads = parallel.DefaultThreads()
