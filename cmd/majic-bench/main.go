@@ -11,8 +11,11 @@
 //	majic-bench -exp=table1 -cpuprofile=cpu.pb.gz -memprofile=mem.pb.gz
 //
 // Experiments: table1, fig4, fig5, fig6, fig7, table2, sec5, resp,
-// concurrent, server, all. The concurrent and server experiments are
-// not part of "all": concurrent measures the asynchronous compilation
+// sparse, concurrent, server, all. The sparse, concurrent, and server
+// experiments are not part of "all": sparse runs the iterative-solver
+// tier over CSR operators at sizes a dense representation cannot reach
+// (with -json it writes BENCH_sparse.json); concurrent measures the
+// asynchronous compilation
 // service (first-call latency and steady-state throughput for M
 // goroutines sharing one engine repository); server drives a live
 // majicd daemon with N clients x M sessions replaying fig4 programs
@@ -53,7 +56,7 @@ func writeJSONFile(path string, v any) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|table2|sec5|resp|concurrent|server|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|table2|sec5|resp|sparse|concurrent|server|all")
 	size := flag.String("size", "medium", "problem size preset: small|medium|paper")
 	reps := flag.Int("reps", 3, "best-of repetitions (paper used 10)")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default all)")
@@ -70,6 +73,7 @@ func main() {
 	threads := flag.Int("threads", 0, "dense-kernel worker threads (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	tiered := flag.Bool("tiered", false, "fig4/server: add the profile-guided tiering arm (interp-fast first call, background promotion, OSR)")
 	tierThreshold := flag.Int("tier-threshold", 0, "tiered: calls before a hot signature is promoted (0 = default)")
+	sparseThreshold := flag.Float64("sparse-threshold", -1, "density above which sparse operator results densify (0..1, -1 = default 0.5)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -79,6 +83,9 @@ func main() {
 	// a footer, keeping committed results self-describing.
 	if *threads > 0 {
 		parallel.SetDefaultThreads(*threads)
+	}
+	if *sparseThreshold >= 0 {
+		mat.SetSparseThreshold(*sparseThreshold)
 	}
 	fmt.Printf("majic-bench: kernel threads %d (GOMAXPROCS %d)\n\n", parallel.DefaultThreads(), runtime.GOMAXPROCS(0))
 	defer func() {
@@ -177,6 +184,23 @@ func main() {
 		run("sec5", cfg.Sec5)
 	case "resp":
 		run("resp", cfg.Responsiveness)
+	case "sparse":
+		scfg := bench.SparseConfig{
+			Size:    sz,
+			Reps:    *reps,
+			Out:     os.Stdout,
+			Threads: *threads,
+		}
+		run("sparse", func() error {
+			rep, err := scfg.Report()
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return writeJSONFile("BENCH_sparse.json", rep)
+			}
+			return nil
+		})
 	case "concurrent":
 		ccfg := bench.ConcurrentConfig{
 			Size:           sz,

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/mat"
 )
 
 func main() {
@@ -34,8 +35,12 @@ func main() {
 	threads := flag.Int("threads", 0, "dense-kernel worker threads (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	tiered := flag.Bool("tiered", false, "profile-guided tiered recompilation: interpret first, promote hot signatures to optimized code in the background, OSR hot loops mid-run (jit tier only)")
 	tierThreshold := flag.Int("tier-threshold", 0, "calls before a hot signature is promoted (0 = default)")
+	sparseThreshold := flag.Float64("sparse-threshold", -1, "density above which sparse operator results densify (0..1, -1 = default 0.5)")
 	flag.Parse()
 
+	if *sparseThreshold >= 0 {
+		mat.SetSparseThreshold(*sparseThreshold)
+	}
 	tier, err := parseTier(*tierFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/mat"
 	"repro/internal/parallel"
 	"repro/internal/server"
 )
@@ -53,6 +54,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	tiered := flag.Bool("tiered", false, "profile-guided tiered recompilation: interpret first, promote hot signatures in the background, OSR hot loops mid-run (jit tier only)")
 	tierThreshold := flag.Int("tier-threshold", 0, "calls before a hot signature is promoted (0 = default)")
+	sparseThreshold := flag.Float64("sparse-threshold", -1, "density above which sparse operator results densify (0..1, -1 = default 0.5)")
 	flag.Parse()
 
 	t, err := core.ParseTier(*tier)
@@ -66,6 +68,9 @@ func main() {
 	}
 	if *threads > 0 {
 		parallel.SetDefaultThreads(*threads)
+	}
+	if *sparseThreshold >= 0 {
+		mat.SetSparseThreshold(*sparseThreshold)
 	}
 
 	srv := server.New(server.Options{

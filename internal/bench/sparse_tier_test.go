@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestSparseTierSmall runs the whole solver tier at the small preset:
+// every solver must complete, the SpMV comparator must agree bitwise
+// with the sparse product, and the speedup floor must hold.
+func TestSparseTierSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sparse tier takes seconds; skipped in -short")
+	}
+	rep, err := SparseConfig{Size: Small, Reps: 1, Out: io.Discard}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SpMV) == 0 || len(rep.Solvers) == 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	for _, r := range rep.SpMV {
+		if !r.Match {
+			t.Errorf("spmv %s n=%d: sparse and densified products diverged", r.Operator, r.N)
+		}
+		if r.DensifiedUS > 0 && r.Speedup < 50 {
+			t.Errorf("spmv %s n=%d: speedup %.1fx below the 50x floor", r.Operator, r.N, r.Speedup)
+		}
+	}
+	for _, r := range rep.Solvers {
+		if r.TimeUS <= 0 {
+			t.Errorf("%s/%s n=%d: no time recorded", r.Solver, r.Operator, r.N)
+		}
+		if r.Residual != r.Residual {
+			t.Errorf("%s/%s n=%d: NaN residual", r.Solver, r.Operator, r.N)
+		}
+	}
+}

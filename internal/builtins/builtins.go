@@ -60,6 +60,20 @@ func Names() []string {
 	return out
 }
 
+// sparseAware names the builtins whose implementations handle sparse
+// (CSR) arguments directly — metadata queries that never touch the
+// payload, the sparse constructors/converters, and diag (which has an
+// O(nnz) extraction path). Every other builtin receives densified
+// copies from Call, so implementations stay representation-oblivious.
+// A name set (not a Builtin field) avoids init-order coupling between
+// the per-file register calls.
+var sparseAware = map[string]bool{
+	"sparse": true, "full": true, "speye": true, "spdiags": true,
+	"nnz": true, "issparse": true,
+	"size": true, "length": true, "numel": true, "isempty": true,
+	"isreal": true, "isscalar": true, "diag": true,
+}
+
 // Call invokes a builtin by pointer with argument-count validation.
 func Call(ctx *Context, b *Builtin, args []*mat.Value, nout int) ([]*mat.Value, error) {
 	if len(args) < b.MinArgs {
@@ -73,6 +87,24 @@ func Call(ctx *Context, b *Builtin, args []*mat.Value, nout int) ([]*mat.Value, 
 	}
 	if nout > b.MaxOuts {
 		return nil, mat.Errorf("%s: too many output arguments", b.Name)
+	}
+	if !sparseAware[b.Name] {
+		var copied []*mat.Value
+		for i, a := range args {
+			if a != nil && a.IsSparse() {
+				d, err := a.Dense()
+				if err != nil {
+					return nil, err
+				}
+				if copied == nil {
+					copied = append([]*mat.Value(nil), args...)
+				}
+				copied[i] = d
+			}
+		}
+		if copied != nil {
+			args = copied
+		}
 	}
 	return b.Impl(ctx, args, nout)
 }

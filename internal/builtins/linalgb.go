@@ -6,6 +6,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/linalg"
 	"repro/internal/mat"
+	"repro/internal/sparse"
 )
 
 func init() {
@@ -243,6 +244,26 @@ func MLDivide(a, b *mat.Value) (*mat.Value, error) {
 	}
 	if b.Rows() != a.Rows() {
 		return nil, mat.Errorf("mldivide: dimension mismatch (%dx%d \\ %dx%d)", a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	if b.IsSparse() {
+		d, err := b.Dense() // the solvers read b's column-major payload
+		if err != nil {
+			return nil, err
+		}
+		b = d
+	}
+	if a.IsSparse() {
+		if mat.SparseTriangularity(a) != sparse.General {
+			// Structurally triangular sparse systems take the parallel
+			// level-scheduled substitution kernel; the SOR-style M\r
+			// preconditioner solves in the iterative tier land here.
+			return mat.SparseTriSolve(a, b)
+		}
+		d, err := a.Dense() // general sparse system: densify, then LU
+		if err != nil {
+			return nil, err
+		}
+		a = d
 	}
 	x, err := linalg.Solve(a.Re(), a.Rows(), b.Re(), b.Cols())
 	if err != nil {

@@ -232,12 +232,21 @@ func init() {
 	register("diag", 1, 1, 1, func(ctx *Context, args []*mat.Value, nout int) ([]*mat.Value, error) {
 		a := args[0]
 		if a.IsVector() && !a.IsScalar() {
-			n := a.Numel()
+			d, err := a.Dense() // sparse vector: payload read below
+			if err != nil {
+				return nil, err
+			}
+			n := d.Numel()
 			out := mat.New(n, n)
 			for i := 0; i < n; i++ {
-				out.SetAt(i, i, a.Re()[i])
+				out.SetAt(i, i, d.Re()[i])
 			}
 			return []*mat.Value{out}, nil
+		}
+		if a.IsSparse() {
+			// O(nnz) extraction; avoids densifying huge operands (cgopt's
+			// Jacobi preconditioner calls diag(A) at n=1e6).
+			return []*mat.Value{mat.SparseDiag(a)}, nil
 		}
 		n := a.Rows()
 		if a.Cols() < n {

@@ -225,6 +225,11 @@ func finalizePools(g *gen) {
 
 // classOf picks a register bank from a variable's joined type.
 func classOf(t types.Type) ir.Bank {
+	if t.Sp {
+		// A possibly-sparse value keeps its CSR representation only in a
+		// boxed register; unboxing would force densification.
+		return ir.BankV
+	}
 	if t.IsScalar() {
 		switch {
 		case types.LeqI(t.I, types.IInt):

@@ -44,7 +44,9 @@ type fuseNode struct {
 // by the ordinary expression compiler and fed to the kernel.
 func (g *gen) fuseInterior(e ast.Expr) (fuseNode, bool) {
 	ann := g.annOf(e)
-	if ann.IsScalar() || !types.LeqI(ann.I, types.IReal) {
+	if ann.IsScalar() || !types.LeqI(ann.I, types.IReal) || ann.Sp {
+		// Possibly-sparse results never fuse: the kernel's per-element
+		// loads assume dense column-major payloads.
 		return fuseNode{}, false
 	}
 	switch x := e.(type) {
@@ -102,7 +104,7 @@ func (g *gen) tryFuseExpr(e ast.Expr) (ir.Bank, int32, bool) {
 	count = func(e ast.Expr) {
 		n, ok := g.fuseInterior(e)
 		if !ok {
-			if !types.LeqI(g.annOf(e).I, types.IReal) {
+			if la := g.annOf(e); !types.LeqI(la.I, types.IReal) || la.Sp {
 				legal = false
 			}
 			nleaves++

@@ -53,7 +53,8 @@ func (g *gen) typedLoadPossible(call *ast.Call, baseT types.Type) bool {
 	if s, ok := g.vars[call.Name]; !ok || s.bank != ir.BankV {
 		return false
 	}
-	if !types.LeqI(baseT.I, types.IReal) || baseT.I == types.IBottom {
+	if !types.LeqI(baseT.I, types.IReal) || baseT.I == types.IBottom || baseT.Sp {
+		// Possibly-sparse bases have no dense payload to load from.
 		return false
 	}
 	if len(call.Args) != 1 && len(call.Args) != 2 {
@@ -75,7 +76,12 @@ func (g *gen) typedLoadPossible(call *ast.Call, baseT types.Type) bool {
 // be a real scalar and the base must stay real.
 func (g *gen) typedStorePossible(call *ast.Call, rhs ast.Expr, baseT types.Type) bool {
 	rt := g.annOf(rhs)
-	if !rt.IsScalar() || !types.LeqI(rt.I, types.IReal) {
+	if !rt.IsScalar() || !types.LeqI(rt.I, types.IReal) || rt.Sp {
+		return false
+	}
+	if baseT.Sp {
+		// Storing into a possibly-sparse base goes through the generic
+		// path, which densifies in place first.
 		return false
 	}
 	if !types.LeqI(baseT.I, types.IReal) {
@@ -373,8 +379,10 @@ func (g *gen) builtinCall(x *ast.Call) (ir.Bank, int32) {
 	// Generic builtin dispatch.
 	outs := g.emitBuiltin(x, 1)
 	d := outs[0]
-	// Unbox typed scalar results so downstream code stays unboxed.
-	if ann.IsScalar() {
+	// Unbox typed scalar results so downstream code stays unboxed — but
+	// never a possibly-sparse scalar (e.g. sparse(1,1)), whose
+	// representation must survive for issparse/nnz.
+	if ann.IsScalar() && !ann.Sp {
 		switch {
 		case types.LeqI(ann.I, types.IInt):
 			di := g.newReg(ir.BankI)
@@ -548,11 +556,11 @@ func (g *gen) tryUnrollElemwise(x *ast.Binary) (ir.Bank, int32, bool) {
 	ann := g.annOf(x)
 	rows, cols, ok := ann.ExactShape()
 	n := rows * cols
-	if !ok || n == 0 || n > g.cfg.MaxUnrollElems || !types.LeqI(ann.I, types.IReal) {
+	if !ok || n == 0 || n > g.cfg.MaxUnrollElems || !types.LeqI(ann.I, types.IReal) || ann.Sp {
 		return 0, 0, false
 	}
 	lt, rt := g.annOf(x.L), g.annOf(x.R)
-	if !types.LeqI(lt.I, types.IReal) || !types.LeqI(rt.I, types.IReal) {
+	if !types.LeqI(lt.I, types.IReal) || !types.LeqI(rt.I, types.IReal) || lt.Sp || rt.Sp {
 		return 0, 0, false
 	}
 	okShape := func(t types.Type) bool {

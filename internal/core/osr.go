@@ -191,6 +191,9 @@ func (r *repoState) osrTransfer(fr *interp.Frame, st *profile.OSRState, entry *p
 				st.Deopts.Store(0)
 				st.Requested.Store(false)
 			} else {
+				// The adaptive recompile was already spent and the site
+				// still churns: give up on it for good.
+				e.lib.profiles.CountDeoptBudgetExhausted()
 				st.Failed.Store(true)
 				return nil, interp.OSRNever, nil
 			}

@@ -214,3 +214,47 @@ func TestPersistenceInterpEntriesRoundTrip(t *testing.T) {
 		t.Fatalf("interp entry rejected: %+v", ls)
 	}
 }
+
+// TestPersistenceColdStartsOnPreSparsitySnapshot: a snapshot written by
+// the pre-sparsity codec (v2) encoded types without the sparsity bit,
+// so none of its compiled entries can be trusted under the current
+// lattice. The warm start must reject the whole file and cold start —
+// and the next flush must overwrite it with a current-version snapshot.
+func TestPersistenceColdStartsOnPreSparsitySnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.bin")
+
+	lib := NewLibrary(LibraryOptions{})
+	lib.EnablePersistence(path, time.Hour)
+	compileOnce(t, lib, persistSrc, "padd")
+	lib.Close()
+
+	// Forge the snapshot's version down to 2 (header is not covered by
+	// the payload CRC, so only the version gate can reject it).
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4], data[5] = 2, 0 // little-endian uint16 version field
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := NewLibrary(LibraryOptions{})
+	ls := warm.EnablePersistence(path, time.Hour)
+	if !ls.Attempted || ls.Error == "" || ls.LoadedEntries != 0 {
+		t.Fatalf("pre-sparsity snapshot must cold start: %+v", ls)
+	}
+	// Cold start means the replay compiles again.
+	compileOnce(t, warm, persistSrc, "padd")
+	if st := warm.Repo().Stats(); st.Inserts == 0 {
+		t.Fatalf("cold start should recompile: %+v", st)
+	}
+	warm.Close()
+
+	// The rewritten snapshot is current-version and warm-starts cleanly.
+	again := NewLibrary(LibraryOptions{})
+	defer again.Close()
+	if ls := again.EnablePersistence(path, time.Hour); ls.Error != "" || ls.LoadedEntries == 0 {
+		t.Fatalf("flush after cold start left a bad snapshot: %+v", ls)
+	}
+}

@@ -348,6 +348,51 @@ func registerBuiltinRules(c *Calculator) {
 		return types.Type{I: a[0].I, MinShape: a[0].MinShape, MaxShape: a[0].MaxShape, R: a[0].R}
 	})
 
+	// --- sparse representation ----------------------------------------------------------
+	// The constructors' Sp=true bit is applied by sparseAdjust (sparse.go);
+	// the rule bodies here only compute intrinsic/shape/range.
+	ctor("speye", types.MkRange(0, 1))
+	reg("sparse", "sparse of a matrix", func(a []types.Type) bool {
+		return len(a) == 1 && types.LeqI(a[0].I, types.IReal)
+	}, func(a []types.Type) types.Type {
+		return types.Type{I: types.IReal, MinShape: a[0].MinShape, MaxShape: a[0].MaxShape, R: numericRange(a[0])}
+	})
+	reg("sparse", "sparse(m,n) all-zero", func(a []types.Type) bool {
+		return len(a) == 2 && constShapeArgs(a) != nil
+	}, func(a []types.Type) types.Type {
+		s := constShapeArgs(a)
+		return types.Type{I: types.IReal, MinShape: *s, MaxShape: *s, R: types.Const(0)}
+	})
+	reg("sparse", "sparse constructor", anyArgs, func(a []types.Type) types.Type {
+		return types.MatrixOf(types.IReal)
+	})
+	reg("spdiags", "spdiags with constant sizes", func(a []types.Type) bool {
+		return len(a) == 4 && constShapeArgs(a[2:]) != nil
+	}, func(a []types.Type) types.Type {
+		s := constShapeArgs(a[2:])
+		return types.Type{I: types.IReal, MinShape: *s, MaxShape: *s, R: types.RangeTop}
+	})
+	reg("spdiags", "spdiags", nArgs(4), func(a []types.Type) types.Type {
+		return types.MatrixOf(types.IReal)
+	})
+	reg("full", "full", nArgs(1), func(a []types.Type) types.Type {
+		i := a[0].I
+		if i == types.IStrg || i == types.ITop {
+			i = types.IReal
+		}
+		return types.Type{I: i, MinShape: a[0].MinShape, MaxShape: a[0].MaxShape, R: numericRange(a[0])}
+	})
+	reg("nnz", "nnz", nArgs(1), func(a []types.Type) types.Type {
+		hi := math.Inf(1)
+		if n, ok := a[0].MaxShape.Numel(); ok {
+			hi = float64(n)
+		}
+		return types.ScalarOf(types.IInt, types.MkRange(0, hi))
+	})
+	reg("issparse", "issparse", nArgs(1), func(a []types.Type) types.Type {
+		return boolResult(types.ScalarShape, types.ScalarShape)
+	})
+
 	// --- strings / io -------------------------------------------------------------------
 	reg("sprintf", "sprintf", anyArgs, func(a []types.Type) types.Type { return types.MatrixOf(types.IStrg) })
 	reg("num2str", "num2str", nArgs(1), func(a []types.Type) types.Type { return types.MatrixOf(types.IStrg) })

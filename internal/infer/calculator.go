@@ -71,7 +71,10 @@ func (c *Calculator) add(name, desc string, pre func([]types.Type) bool, app fun
 func (c *Calculator) Forward(name string, args []types.Type) types.Type {
 	for _, r := range c.forward[name] {
 		if r.Pre(args) {
-			return r.App(args)
+			// The rule bodies predate the sparsity dimension; the
+			// adjustment layer computes the result's Sp bit from the
+			// operator's runtime representation rules (sparse.go).
+			return sparseAdjust(name, args, r.App(args))
 		}
 	}
 	return types.Top

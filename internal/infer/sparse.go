@@ -1,0 +1,40 @@
+package infer
+
+import "repro/internal/types"
+
+// sparseAdjust computes the sparsity bit of a forward-rule result. The
+// static rules over-approximate the runtime representation rules in
+// internal/mat: Sp=true means the operator MAY return a sparse value
+// when the listed operands are sparse; every operator not listed here
+// densifies its sparse operands at runtime, so its result is provably
+// dense (Sp=false — the zero value the rule bodies already produce).
+//
+// The unmatched-name default in Forward returns types.Top, which
+// carries Sp=true, so operators with no rules stay conservative.
+func sparseAdjust(name string, args []types.Type, out types.Type) types.Type {
+	arg := func(i int) bool { return i < len(args) && args[i].Sp }
+	switch name {
+	case "+", "-":
+		// Sparse result only when both operands are sparse (a dense or
+		// broadcast-scalar operand makes the sum dense).
+		out.Sp = arg(0) && arg(1)
+	case ".*", "*":
+		// Either operand sparse can keep the result sparse (pattern
+		// intersection / scalar scaling); true matrix products return
+		// dense, but the scalar case is not always statically separable.
+		out.Sp = arg(0) || arg(1)
+	case "./":
+		out.Sp = arg(0) // sparse ./ scalar stays sparse
+	case ".\\":
+		out.Sp = arg(1) // b ./ a with roles swapped
+	case "/":
+		out.Sp = arg(0) // a / scalar reduces to ./
+	case "\\":
+		out.Sp = arg(1) // scalar \ b reduces to b ./ scalar
+	case "u-", "u+", "'", ".'":
+		out.Sp = arg(0)
+	case "sparse", "speye", "spdiags":
+		out.Sp = true
+	}
+	return out
+}

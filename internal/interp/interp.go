@@ -297,7 +297,7 @@ func switchMatch(subj, cv *mat.Value) (bool, error) {
 	if !cv.IsScalar() || !subj.IsScalar() {
 		return false, nil
 	}
-	return subj.Re()[0] == cv.Re()[0], nil
+	return subj.At(0, 0) == cv.At(0, 0), nil
 }
 
 func (in *Interp) execFor(x *ast.For, env *Env) (ctl, error) {

@@ -45,6 +45,13 @@ type Subscript struct {
 // used to resolve 'end' (already substituted by the caller); it is not
 // used here but kept for interface symmetry.
 func ResolveSubscript(v *Value) (Subscript, error) {
+	if v.sp != nil {
+		d, err := v.Dense()
+		if err != nil {
+			return Subscript{}, err
+		}
+		v = d
+	}
 	n := v.rows * v.cols
 	idx := make([]int, n)
 	for i := 0; i < n; i++ {
@@ -65,6 +72,13 @@ func ResolveSubscript(v *Value) (Subscript, error) {
 func Index1(a *Value, s Subscript) (*Value, error) {
 	n := a.rows * a.cols
 	if s.Colon {
+		if a.sp != nil {
+			d, err := a.Dense()
+			if err != nil {
+				return nil, err
+			}
+			a = d
+		}
 		out := NewKind(a.kind, n, 1)
 		copy(out.re, a.re[:n])
 		if a.im != nil {
@@ -88,6 +102,11 @@ func Index1(a *Value, s Subscript) (*Value, error) {
 	for i, ix := range s.Idx {
 		if ix > n {
 			return nil, Errorf("index exceeds matrix dimensions (index %d, numel %d)", ix, n)
+		}
+		if a.sp != nil {
+			// Per-element lookup: reads never densify a sparse operand.
+			out.re[i] = a.sp.linear(ix - 1)
+			continue
 		}
 		out.re[i] = a.re[ix-1]
 		if a.im != nil {
@@ -120,6 +139,10 @@ func Index2(a *Value, rs, cs Subscript) (*Value, error) {
 	out := NewKind(a.kind, len(ridx), len(cidx))
 	for j, c := range cidx {
 		for i, r := range ridx {
+			if a.sp != nil {
+				out.re[j*len(ridx)+i] = a.sp.at(r-1, c-1)
+				continue
+			}
 			out.re[j*len(ridx)+i] = a.re[(c-1)*a.rows+(r-1)]
 			if a.im != nil {
 				out.im[j*len(ridx)+i] = a.im[(c-1)*a.rows+(r-1)]
@@ -144,6 +167,19 @@ func expand(s Subscript, extent int) ([]int, error) {
 // overflow per MATLAB semantics: a vector (or empty) A grows along its
 // orientation; growing a true matrix by linear index is an error.
 func Assign1(a *Value, s Subscript, rhs *Value) error {
+	// Indexed stores mutate in place: a sparse destination densifies
+	// first (copy-on-write has already unshared it), and a sparse rhs
+	// densifies so the element copies below can read it.
+	if err := a.densifyInPlace(); err != nil {
+		return err
+	}
+	if rhs.sp != nil {
+		d, err := rhs.Dense()
+		if err != nil {
+			return err
+		}
+		rhs = d
+	}
 	if s.Colon {
 		n := a.rows * a.cols
 		if rhs.IsScalar() {
@@ -202,6 +238,16 @@ func Assign1(a *Value, s Subscript, rhs *Value) error {
 // Assign2 implements A(r,c) = rhs, growing A when subscripts exceed the
 // current dimensions.
 func Assign2(a *Value, rs, cs Subscript, rhs *Value) error {
+	if err := a.densifyInPlace(); err != nil {
+		return err
+	}
+	if rhs.sp != nil {
+		d, err := rhs.Dense()
+		if err != nil {
+			return err
+		}
+		rhs = d
+	}
 	maxR, maxC := 0, 0
 	ridx, err := expand(rs, a.rows)
 	if err != nil {
@@ -372,6 +418,9 @@ func (a *Value) CheckedGet1(x float64) (float64, error) {
 	if i > a.rows*a.cols {
 		return 0, Errorf("index exceeds matrix dimensions (index %d, numel %d)", i, a.rows*a.cols)
 	}
+	if a.sp != nil {
+		return a.sp.linear(i - 1), nil
+	}
 	return a.re[i-1], nil
 }
 
@@ -379,6 +428,9 @@ func (a *Value) CheckedGet1(x float64) (float64, error) {
 func (a *Value) CheckedSet1(x float64, val float64) error {
 	if x != math.Trunc(x) || x < 1 {
 		return Errorf("subscript indices must be positive integers (got %g)", x)
+	}
+	if err := a.densifyInPlace(); err != nil {
+		return err
 	}
 	i := int(x)
 	if i > a.rows*a.cols {
@@ -399,6 +451,9 @@ func (a *Value) CheckedGet2(xr, xc float64) (float64, error) {
 	if r > a.rows || c > a.cols {
 		return 0, Errorf("index exceeds matrix dimensions (%d,%d of %dx%d)", r, c, a.rows, a.cols)
 	}
+	if a.sp != nil {
+		return a.sp.at(r-1, c-1), nil
+	}
 	return a.re[(c-1)*a.rows+(r-1)], nil
 }
 
@@ -406,6 +461,9 @@ func (a *Value) CheckedGet2(xr, xc float64) (float64, error) {
 func (a *Value) CheckedSet2(xr, xc float64, val float64) error {
 	if xr != math.Trunc(xr) || xr < 1 || xc != math.Trunc(xc) || xc < 1 {
 		return Errorf("subscript indices must be positive integers")
+	}
+	if err := a.densifyInPlace(); err != nil {
+		return err
 	}
 	r, c := int(xr), int(xc)
 	if r > a.rows || c > a.cols {

@@ -38,6 +38,14 @@ const elemGrain = 1 << 14
 // results for every thread count; the integrality scan AND-merges
 // per-chunk flags (order-independent).
 func elementwise(a, b *Value, fr func(x, y float64) float64, fc func(x, y complex128) complex128) (*Value, error) {
+	if a.sp != nil || b.sp != nil {
+		// Defensive: sparse-capable operators dispatch before reaching
+		// here; anything else works on densified copies.
+		var derr error
+		if a, b, derr = dense2(a, b); derr != nil {
+			return nil, derr
+		}
+	}
 	rows, cols, err := binShape(a, b)
 	if err != nil {
 		return nil, err
@@ -104,6 +112,9 @@ func bcastC(v *Value, i int) complex128 {
 
 // Add implements a+b.
 func Add(a, b *Value) (*Value, error) {
+	if a.sp != nil || b.sp != nil {
+		return sparseAddSub(a, b, false)
+	}
 	return elementwise(a, b,
 		func(x, y float64) float64 { return x + y },
 		func(x, y complex128) complex128 { return x + y })
@@ -111,6 +122,9 @@ func Add(a, b *Value) (*Value, error) {
 
 // Sub implements a-b.
 func Sub(a, b *Value) (*Value, error) {
+	if a.sp != nil || b.sp != nil {
+		return sparseAddSub(a, b, true)
+	}
 	return elementwise(a, b,
 		func(x, y float64) float64 { return x - y },
 		func(x, y complex128) complex128 { return x - y })
@@ -118,6 +132,9 @@ func Sub(a, b *Value) (*Value, error) {
 
 // ElemMul implements a.*b.
 func ElemMul(a, b *Value) (*Value, error) {
+	if a.sp != nil || b.sp != nil {
+		return sparseElemMul(a, b)
+	}
 	return elementwise(a, b,
 		func(x, y float64) float64 { return x * y },
 		func(x, y complex128) complex128 { return x * y })
@@ -125,6 +142,9 @@ func ElemMul(a, b *Value) (*Value, error) {
 
 // ElemDiv implements a./b.
 func ElemDiv(a, b *Value) (*Value, error) {
+	if a.sp != nil || b.sp != nil {
+		return sparseElemDiv(a, b)
+	}
 	return elementwise(a, b,
 		func(x, y float64) float64 { return x / y },
 		func(x, y complex128) complex128 { return x / y })
@@ -135,6 +155,9 @@ func ElemLDiv(a, b *Value) (*Value, error) { return ElemDiv(b, a) }
 
 // Neg implements -a.
 func Neg(a *Value) (*Value, error) {
+	if a.sp != nil {
+		return sparseNeg(a)
+	}
 	n := a.rows * a.cols
 	if a.kind == Complex {
 		out := NewKind(Complex, a.rows, a.cols)
@@ -171,6 +194,9 @@ func UPlus(a *Value) (*Value, error) {
 // Mul implements the matrix product a*b, with scalar broadcasting when
 // either operand is 1x1. Inner dimensions must agree otherwise.
 func Mul(a, b *Value) (*Value, error) {
+	if a.sp != nil || b.sp != nil {
+		return sparseMul(a, b)
+	}
 	if a.IsScalar() || b.IsScalar() {
 		return ElemMul(a, b)
 	}
@@ -227,6 +253,12 @@ func Div(a, b *Value, solve func(A, B *Value) (*Value, error)) (*Value, error) {
 // result when needed), matrix^integer-scalar (repeated squaring), and
 // scalar^matrix is rejected.
 func Pow(a, b *Value) (*Value, error) {
+	if a.sp != nil || b.sp != nil {
+		var err error
+		if a, b, err = dense2(a, b); err != nil {
+			return nil, err
+		}
+	}
 	if a.IsScalar() && b.IsScalar() {
 		return scalarPow(a, b)
 	}
@@ -277,6 +309,12 @@ func scalarPow(a, b *Value) (*Value, error) {
 
 // ElemPow implements a.^b.
 func ElemPow(a, b *Value) (*Value, error) {
+	if a.sp != nil || b.sp != nil {
+		var derr error
+		if a, b, derr = dense2(a, b); derr != nil {
+			return nil, derr
+		}
+	}
 	rows, cols, err := binShape(a, b)
 	if err != nil {
 		return nil, err
@@ -309,6 +347,9 @@ func ElemPow(a, b *Value) (*Value, error) {
 // Transpose implements a' for real values and the conjugate transpose for
 // complex values (MATLAB's ').
 func Transpose(a *Value) (*Value, error) {
+	if a.sp != nil {
+		return sparseTranspose(a)
+	}
 	out := NewKind(a.kind, a.cols, a.rows)
 	for c := 0; c < a.cols; c++ {
 		for r := 0; r < a.rows; r++ {
@@ -355,6 +396,12 @@ const (
 // paper's speculator hint) disregard imaginary parts for ordering but use
 // them for equality.
 func Compare(op CmpOp, a, b *Value) (*Value, error) {
+	if a.sp != nil || b.sp != nil {
+		var derr error
+		if a, b, derr = dense2(a, b); derr != nil {
+			return nil, derr
+		}
+	}
 	rows, cols, err := binShape(a, b)
 	if err != nil {
 		return nil, err
@@ -404,6 +451,12 @@ func Or(a, b *Value) (*Value, error) {
 }
 
 func logical(a, b *Value, f func(x, y bool) bool) (*Value, error) {
+	if a.sp != nil || b.sp != nil {
+		var derr error
+		if a, b, derr = dense2(a, b); derr != nil {
+			return nil, derr
+		}
+	}
 	rows, cols, err := binShape(a, b)
 	if err != nil {
 		return nil, err
@@ -424,6 +477,12 @@ func truthy(v *Value, i int) bool {
 
 // Not implements ~a.
 func Not(a *Value) (*Value, error) {
+	if a.sp != nil {
+		var err error
+		if a, err = a.Dense(); err != nil {
+			return nil, err
+		}
+	}
 	out := NewKind(Bool, a.rows, a.cols)
 	n := a.rows * a.cols
 	for i := 0; i < n; i++ {
@@ -438,6 +497,15 @@ func Not(a *Value) (*Value, error) {
 // MATLAB silently uses only the real part of the first element of each
 // operand. A zero step or an empty traversal yields a 1x0 empty row.
 func Colon(lo, step, hi *Value) (*Value, error) {
+	for _, v := range []**Value{&lo, &step, &hi} {
+		if (*v).sp != nil {
+			d, err := (*v).Dense()
+			if err != nil {
+				return nil, err
+			}
+			*v = d
+		}
+	}
 	if lo.IsEmpty() || step.IsEmpty() || hi.IsEmpty() {
 		return &Value{kind: Real, rows: 1, cols: 0, re: nil}, nil
 	}
@@ -496,10 +564,18 @@ func Cat(parts [][]*Value) (*Value, error) {
 	return VertCat(rows)
 }
 
-// HorzCat concatenates values left to right.
+// HorzCat concatenates values left to right. Sparse elements densify:
+// concatenation results are dense (the static sparsity bit agrees).
 func HorzCat(vs []*Value) (*Value, error) {
 	var nonEmpty []*Value
 	for _, v := range vs {
+		if v.sp != nil {
+			d, err := v.Dense()
+			if err != nil {
+				return nil, err
+			}
+			v = d
+		}
 		if !v.IsEmpty() {
 			nonEmpty = append(nonEmpty, v)
 		}
@@ -530,10 +606,18 @@ func HorzCat(vs []*Value) (*Value, error) {
 	return out, nil
 }
 
-// VertCat concatenates values top to bottom.
+// VertCat concatenates values top to bottom (sparse elements densify,
+// as in HorzCat).
 func VertCat(vs []*Value) (*Value, error) {
 	var nonEmpty []*Value
 	for _, v := range vs {
+		if v.sp != nil {
+			d, err := v.Dense()
+			if err != nil {
+				return nil, err
+			}
+			v = d
+		}
 		if !v.IsEmpty() {
 			nonEmpty = append(nonEmpty, v)
 		}

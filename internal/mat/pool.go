@@ -101,7 +101,7 @@ func NewRealUninit(rows, cols int) *Value {
 // always safe — the same ownership condition OpVEnsure uses for its
 // in-place buffer reuse.
 func Recycle(v *Value) {
-	if v == nil || v.im != nil || !poolOn.Load() || v.IsShared() {
+	if v == nil || v.im != nil || v.sp != nil || !poolOn.Load() || v.IsShared() {
 		return
 	}
 	buf := v.re

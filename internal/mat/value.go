@@ -66,6 +66,11 @@ type Value struct {
 	cols int
 	re   []float64
 	im   []float64 // non-nil iff kind == Complex
+	// sp is the CSR payload of a sparse value (kind Real, re/im nil).
+	// Dense code paths never see it: operators either dispatch to the
+	// sparse implementations in sparse.go or densify first. sparseData
+	// is immutable, so sp may be shared between values (Clone is O(1)).
+	sp *sparseData
 	// shared marks a value that may be reachable through more than one
 	// binding (B = A, function arguments, returned values). In-place
 	// mutation paths (indexed assignment) clone shared values first —
@@ -217,8 +222,14 @@ func (v *Value) IsVector() bool {
 func (v *Value) IsRowVector() bool { return v.rows == 1 }
 
 // Re returns the real payload, exactly rows*cols elements, column-major.
-// The returned slice aliases the value.
-func (v *Value) Re() []float64 { return v.re[:v.rows*v.cols] }
+// The returned slice aliases the value. Sparse values have no dense
+// payload; reaching here with one means a densify guard is missing.
+func (v *Value) Re() []float64 {
+	if v.sp != nil {
+		panic("mat: Re() on a sparse value (missing densify guard)")
+	}
+	return v.re[:v.rows*v.cols]
+}
 
 // Im returns the imaginary payload (nil for non-complex values).
 func (v *Value) Im() []float64 {
@@ -238,11 +249,19 @@ func (v *Value) Scalar() (float64, error) {
 	if !v.IsScalar() {
 		return 0, Errorf("expected a scalar, got %dx%d", v.rows, v.cols)
 	}
+	if v.sp != nil {
+		return v.sp.linear(0), nil
+	}
 	return v.re[0], nil
 }
 
 // MustScalar is Scalar for contexts where the shape was already checked.
-func (v *Value) MustScalar() float64 { return v.re[0] }
+func (v *Value) MustScalar() float64 {
+	if v.sp != nil {
+		return v.sp.linear(0)
+	}
+	return v.re[0]
+}
 
 // ComplexAt returns element i (0-based linear) as a complex128.
 func (v *Value) ComplexAt(i int) complex128 {
@@ -252,8 +271,14 @@ func (v *Value) ComplexAt(i int) complex128 {
 	return complex(v.re[i], 0)
 }
 
-// At returns the real part of the 0-based (r,c) element.
-func (v *Value) At(r, c int) float64 { return v.re[c*v.rows+r] }
+// At returns the real part of the 0-based (r,c) element. Sparse values
+// answer by binary search in the row.
+func (v *Value) At(r, c int) float64 {
+	if v.sp != nil {
+		return v.sp.at(r, c)
+	}
+	return v.re[c*v.rows+r]
+}
 
 // SetAt stores x at the 0-based (r,c) element (real part).
 func (v *Value) SetAt(r, c int, x float64) { v.re[c*v.rows+r] = x }
@@ -270,6 +295,9 @@ func (v *Value) ImAt(r, c int) float64 {
 func (v *Value) String() string {
 	if v.kind == Char {
 		return v.Text()
+	}
+	if v.sp != nil {
+		return v.sparseString()
 	}
 	if v.IsEmpty() {
 		return "[]"
@@ -324,7 +352,11 @@ func (v *Value) Text() string {
 }
 
 // Clone returns a deep copy (call-by-value semantics for function calls).
+// Sparse payloads are immutable, so a sparse clone shares sp — O(1).
 func (v *Value) Clone() *Value {
+	if v.sp != nil {
+		return &Value{kind: v.kind, rows: v.rows, cols: v.cols, sp: v.sp}
+	}
 	n := v.rows * v.cols
 	out := &Value{kind: v.kind, rows: v.rows, cols: v.cols, re: make([]float64, n)}
 	copy(out.re, v.re[:n])
@@ -342,6 +374,17 @@ func (v *Value) IsTrue() bool {
 	if n == 0 {
 		return false
 	}
+	if v.sp != nil {
+		if len(v.sp.val) < n {
+			return false // at least one implicit zero
+		}
+		for _, x := range v.sp.val {
+			if x == 0 {
+				return false
+			}
+		}
+		return true
+	}
 	for i := 0; i < n; i++ {
 		if v.re[i] == 0 && (v.im == nil || v.im[i] == 0) {
 			return false
@@ -353,6 +396,15 @@ func (v *Value) IsTrue() bool {
 // AllIntegral reports whether every element is a real integral value (used
 // to refine Real results back to Int and for subscript validation).
 func (v *Value) AllIntegral() bool {
+	if v.sp != nil {
+		// Implicit zeros are integral; only stored entries need scanning.
+		for _, x := range v.sp.val {
+			if x != math.Trunc(x) || math.IsInf(x, 0) || math.IsNaN(x) {
+				return false
+			}
+		}
+		return true
+	}
 	if v.im != nil {
 		for _, x := range v.Im() {
 			if x != 0 {

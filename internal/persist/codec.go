@@ -35,7 +35,7 @@ import (
 // Format constants. Version bumps whenever the payload layout changes.
 const (
 	magic        = "MJRP"
-	Version      = 2                     // v2 added the per-function tiering profile section
+	Version      = 3                     // v3 added the sparsity bit to encoded types; v2 added the per-function tiering profile section
 	headerLen    = 4 + 2 + 2 + 8 + 4 + 4 // magic, version, flags, fingerprint, payload len, payload crc
 	maxSnapshotB = 1 << 30               // decode refuses payloads beyond 1 GiB
 )
@@ -159,6 +159,11 @@ func (e *encoder) typ(t types.Type) {
 	e.shape(t.MaxShape)
 	e.f64(t.R.Lo)
 	e.f64(t.R.Hi)
+	// v3: the sparsity bit. Entries compiled before the bit existed
+	// assumed dense representations everywhere; the Version gate turns
+	// their snapshots into cold starts rather than resurrecting code
+	// with the wrong representation assumptions.
+	e.boolean(t.Sp)
 }
 
 func (e *encoder) sig(s types.Signature) {
@@ -392,11 +397,12 @@ func (d *decoder) typ() types.Type {
 	t.MaxShape = d.shape()
 	t.R.Lo = d.f64()
 	t.R.Hi = d.f64()
+	t.Sp = d.boolean()
 	return t
 }
 
 func (d *decoder) sig() types.Signature {
-	n := d.count(1 + 2*(9+9) + 16) // one encoded Type
+	n := d.count(1 + 2*(9+9) + 16 + 1) // one encoded Type
 	if d.err != nil || n == 0 {
 		return nil
 	}

@@ -192,3 +192,21 @@ func TestFingerprintStable(t *testing.T) {
 		t.Fatal("IR fingerprint is zero")
 	}
 }
+
+// TestDecodeRejectsPreSparsitySnapshot pins the v3 staleness gate: a v2
+// snapshot was encoded before types carried the sparsity bit, so its
+// typed IR silently assumed dense representations everywhere. Decoding
+// one must fail with ErrVersion (the caller cold-starts) — the entries
+// must never be resurrected with a reinterpreted payload, even though a
+// v2 payload is byte-wise parseable under the v3 layout up to the
+// missing trailing booleans.
+func TestDecodeRejectsPreSparsitySnapshot(t *testing.T) {
+	data := Encode(testSnapshot())
+	binary.LittleEndian.PutUint16(data[4:6], 2) // forge the pre-sparsity version
+	// The CRC covers only the payload, not the header, so the forged
+	// header reaches the version check rather than tripping ErrCorrupt.
+	_, err := Decode(data)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("v2 snapshot: want ErrVersion, got %v", err)
+	}
+}

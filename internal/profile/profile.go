@@ -36,11 +36,12 @@ type Store struct {
 	mu    sync.Mutex
 	funcs map[string]*FuncProfile
 
-	promotions   atomic.Int64
-	osrRequests  atomic.Int64
-	osrCompiles  atomic.Int64
-	osrTransfers atomic.Int64
-	osrDeopts    atomic.Int64
+	promotions    atomic.Int64
+	osrRequests   atomic.Int64
+	osrCompiles   atomic.Int64
+	osrTransfers  atomic.Int64
+	osrDeopts     atomic.Int64
+	budgetExhaust atomic.Int64
 }
 
 // NewStore returns an empty profile store.
@@ -82,6 +83,11 @@ func (s *Store) CountOSRTransfer() { s.osrTransfers.Add(1) }
 // outside the compiled signature).
 func (s *Store) CountOSRDeopt() { s.osrDeopts.Add(1) }
 
+// CountDeoptBudgetExhausted records an OSR site hitting its deopt
+// budget after its one adaptive recompile was already spent — the site
+// is abandoned (marked Failed) rather than recompiled again.
+func (s *Store) CountDeoptBudgetExhausted() { s.budgetExhaust.Add(1) }
+
 // Stats is the tiering surface for /metrics and the benchmark JSON.
 type Stats struct {
 	Functions    int   `json:"functions"`
@@ -93,16 +99,20 @@ type Stats struct {
 	OSRCompiles  int64 `json:"osr_compiles"`
 	OSRTransfers int64 `json:"osr_transfers"`
 	OSRDeopts    int64 `json:"osr_deopts"`
+	// DeoptBudgetExhausted counts OSR sites abandoned because they kept
+	// deopting after their single adaptive recompile.
+	DeoptBudgetExhausted int64 `json:"deopt_budget_exhausted"`
 }
 
 // Stats returns a snapshot of the store's counters.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Promotions:   s.promotions.Load(),
-		OSRRequests:  s.osrRequests.Load(),
-		OSRCompiles:  s.osrCompiles.Load(),
-		OSRTransfers: s.osrTransfers.Load(),
-		OSRDeopts:    s.osrDeopts.Load(),
+		Promotions:           s.promotions.Load(),
+		OSRRequests:          s.osrRequests.Load(),
+		OSRCompiles:          s.osrCompiles.Load(),
+		OSRTransfers:         s.osrTransfers.Load(),
+		OSRDeopts:            s.osrDeopts.Load(),
+		DeoptBudgetExhausted: s.budgetExhaust.Load(),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,6 +1,8 @@
 package profile
 
 import (
+	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 
@@ -225,5 +227,28 @@ func TestExportLoadRoundTrip(t *testing.T) {
 	s2.Load("f", 3, []SigDump{{Key: "key", Observed: sig, Entries: 999, BackEdges: 999}})
 	if got.Entries() != 2 {
 		t.Fatalf("Load overwrote a live profile")
+	}
+}
+
+// TestDeoptBudgetExhaustedCounter pins the counter's plumbing: the
+// store increments it, Stats carries it, and the JSON surface exposes
+// it as deopt_budget_exhausted (the /metrics and BENCH_fig4.json
+// field name).
+func TestDeoptBudgetExhaustedCounter(t *testing.T) {
+	s := NewStore()
+	if s.Stats().DeoptBudgetExhausted != 0 {
+		t.Fatal("fresh store must report zero budget exhaustions")
+	}
+	s.CountDeoptBudgetExhausted()
+	s.CountDeoptBudgetExhausted()
+	if got := s.Stats().DeoptBudgetExhausted; got != 2 {
+		t.Fatalf("DeoptBudgetExhausted = %d, want 2", got)
+	}
+	b, err := json.Marshal(s.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"deopt_budget_exhausted":2`) {
+		t.Fatalf("JSON surface missing deopt_budget_exhausted: %s", b)
 	}
 }

@@ -281,6 +281,7 @@ func addProfileCounters(dst *profile.Stats, ps profile.Stats) {
 	dst.OSRCompiles += ps.OSRCompiles
 	dst.OSRTransfers += ps.OSRTransfers
 	dst.OSRDeopts += ps.OSRDeopts
+	dst.DeoptBudgetExhausted += ps.DeoptBudgetExhausted
 }
 
 func addQueueCounters(dst *compilequeue.Stats, qs compilequeue.Stats) {

@@ -242,13 +242,19 @@ type Type struct {
 	MinShape Shape
 	MaxShape Shape
 	R        Range
+	// Sp is the sparsity dimension of the lattice: true means the value
+	// MAY use the sparse (CSR) storage form, false means it is provably
+	// dense. The two-point lattice is dense ⊑ sparse — joins go sparse
+	// ("may be sparse"), so typed code compiled for Sp=false never sees
+	// a sparse representation at runtime (Leq enforces it).
+	Sp bool
 }
 
 // Bottom is the least type.
 var Bottom = Type{I: IBottom, MinShape: ShapeTop, MaxShape: ShapeBot, R: RangeBot}
 
-// Top is the greatest type (unknown everything).
-var Top = Type{I: ITop, MinShape: ShapeBot, MaxShape: ShapeTop, R: RangeTop}
+// Top is the greatest type (unknown everything, possibly sparse).
+var Top = Type{I: ITop, MinShape: ShapeBot, MaxShape: ShapeTop, R: RangeTop, Sp: true}
 
 // IsBottom reports the bottom type.
 func (t Type) IsBottom() bool { return t.I == IBottom }
@@ -286,6 +292,7 @@ func Join(a, b Type) Type {
 		MinShape: MeetS(a.MinShape, b.MinShape),
 		MaxShape: JoinS(a.MaxShape, b.MaxShape),
 		R:        JoinR(a.R, b.R),
+		Sp:       a.Sp || b.Sp,
 	}
 }
 
@@ -301,7 +308,8 @@ func Leq(q, t Type) bool {
 	return LeqI(q.I, t.I) &&
 		LeqS(t.MinShape, q.MinShape) && // T's guarantee must hold for Q
 		LeqS(q.MaxShape, t.MaxShape) &&
-		LeqR(q.R, t.R)
+		LeqR(q.R, t.R) &&
+		(!q.Sp || t.Sp) // a maybe-sparse value may not enter dense-assuming code
 }
 
 // ExactShape reports whether the shape is exactly known (min == max and
@@ -369,6 +377,12 @@ func OfValue(v *mat.Value) Type {
 		i = IStrg
 	}
 	t := Exact(i, v.Rows(), v.Cols(), RangeTop)
+	if v.IsSparse() {
+		// No payload scan: sparse values always carry ⊤ ranges, and the
+		// dense accessors must not be touched.
+		t.Sp = true
+		return t
+	}
 	if i == ICplx || i == IStrg {
 		return t
 	}
@@ -439,6 +453,9 @@ func typeDistance(q, t Type) int {
 	if d < 0 {
 		d = -d
 	}
+	if q.Sp != t.Sp {
+		d++
+	}
 	// Shape looseness: each non-exact bound costs.
 	if t.MinShape != t.MaxShape {
 		d += 2
@@ -468,6 +485,11 @@ func (t Signature) Key() string {
 			b.WriteByte(';')
 		}
 		fmt.Fprintf(&b, "%s|%s|%s|%s", ty.I, ty.MinShape, ty.MaxShape, ty.R)
+		if ty.Sp {
+			// Dense keys stay byte-identical to the pre-sparse encoding so
+			// dense-only repositories and paper-mode outputs are unchanged.
+			b.WriteString("|sp")
+		}
 	}
 	return b.String()
 }

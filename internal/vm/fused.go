@@ -69,7 +69,10 @@ func fusedExec(c *Compiled, ctx *builtins.Context, aux []int32, at, dst int, V [
 	for k := 0; k < nv; k++ {
 		v := V[vregs[k]]
 		ops[k] = v
-		if v == nil || v.Im() != nil {
+		if v == nil || v.Im() != nil || v.IsSparse() {
+			// Sparse operands have no dense payload to stream; the boxed
+			// interpreter routes them through the representation-aware
+			// mat entry points.
 			boxed = true
 		}
 	}
@@ -161,7 +164,7 @@ func fusedExec(c *Compiled, ctx *builtins.Context, aux []int32, at, dst int, V [
 	// operands.
 	old := V[dst]
 	var out *mat.Value
-	if old != nil && !old.IsShared() && old.Im() == nil && old.Rows() == rows && old.Cols() == cols {
+	if old != nil && !old.IsShared() && old.Im() == nil && !old.IsSparse() && old.Rows() == rows && old.Cols() == cols {
 		reuse := true
 		if canAbort {
 			for k := 0; k < nv; k++ {

@@ -181,14 +181,20 @@ func gemv(aux []int32, at int, alpha float64, dst int, V []*mat.Value) error {
 		return fmt.Errorf("gemv: undefined operand")
 	}
 
-	fastOK := a.Kind() != mat.Complex && a.Kind() != mat.Char &&
+	fastOK := !x.IsSparse() &&
+		a.Kind() != mat.Complex && a.Kind() != mat.Char &&
 		x.Kind() != mat.Complex && x.Kind() != mat.Char &&
 		x.Cols() == 1 && a.Cols() == x.Rows() && a.Rows() > 0
 	if fastOK && y != nil {
-		fastOK = y.Kind() != mat.Complex && y.Kind() != mat.Char &&
+		fastOK = !y.IsSparse() && y.Kind() != mat.Complex && y.Kind() != mat.Char &&
 			y.Cols() == 1 && y.Rows() == a.Rows()
 	}
 	if fastOK {
+		// Shared β prologue; the α*A*x accumulation then starts from the
+		// staged y values with β=1 in both the dense and sparse kernels,
+		// so per-element rounding order is identical across the two
+		// representations (sparse SpMV mirrors Dgemv's ascending-column
+		// accumulation exactly).
 		out := mat.New(a.Rows(), 1)
 		re := out.Re()
 		if y != nil && beta != 0 {
@@ -201,7 +207,11 @@ func gemv(aux []int32, at int, alpha float64, dst int, V []*mat.Value) error {
 				}
 			}
 		}
-		blas.Dgemv(false, a.Rows(), a.Cols(), alpha, a.Re(), a.Rows(), x.Re(), 1, re)
+		if a.IsSparse() {
+			mat.SparseSpMVInto(a, alpha, x.Re(), 1, re)
+		} else {
+			blas.Dgemv(false, a.Rows(), a.Cols(), alpha, a.Re(), a.Rows(), x.Re(), 1, re)
+		}
 		V[dst] = out
 		return nil
 	}

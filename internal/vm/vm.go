@@ -506,7 +506,7 @@ func Run(c *Compiled, host Host, args []*mat.Value) ([]*mat.Value, error) {
 		case ir.OpVEnsure:
 			v := V[in.A]
 			r, cc := int(I[in.B]), int(I[in.C])
-			if v == nil || v.IsShared() || v.Rows() != r || v.Cols() != cc || v.Kind() != mat.Real {
+			if v == nil || v.IsShared() || v.IsSparse() || v.Rows() != r || v.Cols() != cc || v.Kind() != mat.Real {
 				V[in.A] = mat.New(r, cc)
 			}
 		case ir.OpVEnsureOwn:
@@ -680,6 +680,9 @@ func unboxF(v *mat.Value) (float64, error) {
 	}
 	if !v.IsScalar() {
 		return 0, fmt.Errorf("expected a scalar, got %dx%d", v.Rows(), v.Cols())
+	}
+	if v.IsSparse() {
+		return v.At(0, 0), nil
 	}
 	if v.Kind() == mat.Complex && v.Im()[0] != 0 {
 		return 0, fmt.Errorf("expected a real value")
