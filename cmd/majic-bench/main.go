@@ -39,6 +39,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/parallel"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 // writeJSONFile writes a machine-readable result file next to the
@@ -76,6 +77,7 @@ func main() {
 	sparseThreshold := flag.Float64("sparse-threshold", -1, "density above which sparse operator results densify (0..1, -1 = default 0.5)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (per-eval spans from every harness engine) on exit")
 	flag.Parse()
 
 	// The results_*.txt files are stdout redirections, so the run
@@ -127,6 +129,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	var tracer *telemetry.Tracer
+	if *traceFile != "" {
+		tracer = telemetry.NewTracer(0)
+		defer func() {
+			if err := tracer.WriteFile(*traceFile); err != nil {
+				fmt.Fprintf(os.Stderr, "majic-bench: -trace: %v\n", err)
+			}
+		}()
+	}
 	cfg := harness.Config{
 		Size:          sz,
 		Reps:          *reps,
@@ -136,6 +147,7 @@ func main() {
 		Threads:       *threads,
 		Tiered:        *tiered,
 		TierThreshold: *tierThreshold,
+		Tracer:        tracer,
 	}
 	if *benches != "" {
 		for _, name := range strings.Split(*benches, ",") {

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mat"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +37,8 @@ func main() {
 	tiered := flag.Bool("tiered", false, "profile-guided tiered recompilation: interpret first, promote hot signatures to optimized code in the background, OSR hot loops mid-run (jit tier only)")
 	tierThreshold := flag.Int("tier-threshold", 0, "calls before a hot signature is promoted (0 = default)")
 	sparseThreshold := flag.Float64("sparse-threshold", -1, "density above which sparse operator results densify (0..1, -1 = default 0.5)")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (per-eval spans: parse, disambig, typeinf, codegen, queue wait, exec, tier-up, OSR) on exit")
+	jitLog := flag.Bool("jit-log", false, "print the tiering event journal (promotions, evictions, cause-attributed OSR deopts) to stderr on exit")
 	flag.Parse()
 
 	if *sparseThreshold >= 0 {
@@ -51,10 +54,33 @@ func main() {
 		platform = core.PlatformMIPS
 	}
 
+	var tracer *telemetry.Tracer
+	if *traceFile != "" {
+		tracer = telemetry.NewTracer(0)
+	}
+	var journal *telemetry.Journal
+	if *jitLog {
+		journal = telemetry.NewJournal(0)
+	}
+	// Registered before e.Close's defer so the dump runs after the
+	// engine drains (LIFO): spans from inline shutdown compiles land in
+	// the file.
+	defer func() {
+		if tracer != nil {
+			if err := tracer.WriteFile(*traceFile); err != nil {
+				fmt.Fprintf(os.Stderr, "majic: -trace: %v\n", err)
+			}
+		}
+		if journal != nil {
+			journal.WriteText(os.Stderr)
+		}
+	}()
+
 	e := core.New(core.Options{
 		Tier: tier, Platform: platform, Out: os.Stdout, Seed: *seed,
 		AsyncCompile: *async, CompileWorkers: *workers, FuseElemwise: *fuse,
 		Threads: *threads, Tiered: *tiered, TierThreshold: *tierThreshold,
+		Tracer: tracer, Journal: journal,
 	})
 	defer e.Close()
 

@@ -15,6 +15,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/cfg"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/parser"
 	"repro/internal/regalloc"
+	"repro/internal/telemetry"
 	"repro/internal/types"
 )
 
@@ -32,7 +34,23 @@ func main() {
 	dump := flag.String("dump", "ir", "what to print: tokens|ast|cfg|symbols|types|spec|ir|optir|asm|rules")
 	fnName := flag.String("fn", "", "function to compile (default: first in file)")
 	sigFlag := flag.String("sig", "", "comma-separated parameter types: int|real|cplx|strg|matrix (default: all matrix)")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON file (parse, disambig, typeinf, codegen stage spans) on exit")
 	flag.Parse()
+
+	var tracer *telemetry.Tracer
+	if *traceFile != "" {
+		tracer = telemetry.NewTracer(0)
+		defer func() {
+			if err := tracer.WriteFile(*traceFile); err != nil {
+				fmt.Fprintf(os.Stderr, "majicc: -trace: %v\n", err)
+			}
+		}()
+	}
+	// span times one pipeline stage; inert when -trace is unset (nil
+	// tracer receivers are no-ops).
+	span := func(cat, name string, t0 time.Time) {
+		tracer.Span(cat, name, 0, t0, time.Since(t0))
+	}
 
 	if *dump == "rules" {
 		printRules()
@@ -61,7 +79,9 @@ func main() {
 		return
 	}
 
+	t0 := time.Now()
 	file, err := parser.Parse(src)
+	span(telemetry.CatParse, flag.Arg(0), t0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -97,7 +117,9 @@ func main() {
 	for _, f := range file.Funcs {
 		known[f.Name] = true
 	}
+	t0 = time.Now()
 	tbl := disambig.Analyze(g, fn.Ins, disambig.ResolverFunc(func(n string) bool { return known[n] }))
+	span(telemetry.CatDisambig, fn.Name, t0)
 	if *dump == "symbols" {
 		fmt.Printf("variables of %s:\n", fn.Name)
 		for v := range tbl.Vars {
@@ -124,7 +146,9 @@ func main() {
 	for i, p := range fn.Ins {
 		params[p] = sig[i]
 	}
+	t0 = time.Now()
 	res := infer.Forward(g, params, infer.Opts{})
+	span(telemetry.CatTypeInf, fn.Name, t0)
 	if *dump == "types" {
 		fmt.Printf("signature: %s\n", sig)
 		fmt.Printf("%d calculator rule applications\n", res.RuleApplications)
@@ -135,7 +159,9 @@ func main() {
 		return
 	}
 
+	t0 = time.Now()
 	prog, err := codegen.Compile(fn, res, tbl, codegen.DefaultConfig())
+	span(telemetry.CatCodegen, fn.Name, t0)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

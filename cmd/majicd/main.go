@@ -14,7 +14,10 @@
 //	GET    /sessions/{id}/workspace/{name}  → 200 {"rows":..,"cols":..,"re":[..]}
 //	PUT    /sessions/{id}/workspace/{name}  ← the same shape → 204
 //	DELETE /sessions/{id}                   → 204
-//	GET    /metrics                         → repository/queue/latency counters
+//	GET    /metrics                         → repository/queue/latency counters (JSON)
+//	GET    /metrics.prom                    → the same counters, Prometheus text exposition
+//	GET    /debug/trace                     → Chrome trace-event JSON (per-eval spans)
+//	GET    /debug/events                    → tiering event journal (promotions, deopts by cause)
 //	GET    /healthz, /debug/pprof/*
 //
 // SIGINT/SIGTERM drain in-flight evaluations, close every session and
@@ -25,6 +28,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -55,7 +59,15 @@ func main() {
 	tiered := flag.Bool("tiered", false, "profile-guided tiered recompilation: interpret first, promote hot signatures in the background, OSR hot loops mid-run (jit tier only)")
 	tierThreshold := flag.Int("tier-threshold", 0, "calls before a hot signature is promoted (0 = default)")
 	sparseThreshold := flag.Float64("sparse-threshold", -1, "density above which sparse operator results densify (0..1, -1 = default 0.5)")
+	logLevel := flag.String("log-level", "info", "structured log threshold: debug|info|warn|error (JSON lines on stderr; debug adds per-request and per-eval records)")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "majicd: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	t, err := core.ParseTier(*tier)
 	if err != nil {
@@ -93,6 +105,7 @@ func main() {
 		MaxConcurrentEvals: *maxEvals,
 		IdleTTL:            *idleTTL,
 		MaxDeadline:        *deadline,
+		Logger:             logger,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -102,42 +115,51 @@ func main() {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 
-	mode := "shared repository"
+	mode := "shared"
 	if *isolated {
-		mode = "isolated per-session repositories"
+		mode = "isolated"
 	}
-	fmt.Printf("majicd: listening on %s (tier %s, %s, async=%v, max-sessions %d)\n",
-		*addr, t, mode, *async, *maxSessions)
+	logger.Info("listening",
+		slog.String("addr", *addr),
+		slog.String("tier", t.String()),
+		slog.String("repo_mode", mode),
+		slog.Bool("async", *async),
+		slog.Bool("tiered", *tiered),
+		slog.Int("max_sessions", *maxSessions))
 	if *repoPath != "" {
 		pm := srv.Metrics().Persist
 		switch {
 		case pm.Load.Error != "":
-			fmt.Printf("majicd: %s: cold start (snapshot rejected: %s)\n", *repoPath, pm.Load.Error)
+			logger.Warn("cold start: snapshot rejected",
+				slog.String("path", *repoPath), slog.String("error", pm.Load.Error))
 		case pm.Load.Attempted:
-			fmt.Printf("majicd: %s: warm start — %d entries for %d functions (rejected %d entries, %d functions)\n",
-				*repoPath, pm.Load.LoadedEntries, pm.Load.LoadedFunctions,
-				pm.Load.RejectedEntries, pm.Load.RejectedFunctions)
+			logger.Info("warm start",
+				slog.String("path", *repoPath),
+				slog.Int("entries", pm.Load.LoadedEntries),
+				slog.Int("functions", pm.Load.LoadedFunctions),
+				slog.Int("rejected_entries", pm.Load.RejectedEntries),
+				slog.Int("rejected_functions", pm.Load.RejectedFunctions))
 		default:
-			fmt.Printf("majicd: %s: cold start (no snapshot yet)\n", *repoPath)
+			logger.Info("cold start: no snapshot yet", slog.String("path", *repoPath))
 		}
 	}
 
 	select {
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "majicd: %v\n", err)
+		logger.Error("serve failed", slog.String("error", err.Error()))
 		os.Exit(1)
 	case sig := <-sigc:
-		fmt.Printf("majicd: %s — draining\n", sig)
+		logger.Info("draining", slog.String("signal", sig.String()))
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "majicd: http shutdown: %v\n", err)
+		logger.Warn("http shutdown", slog.String("error", err.Error()))
 	}
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "majicd: drain incomplete: %v\n", err)
+		logger.Error("drain incomplete", slog.String("error", err.Error()))
 		os.Exit(1)
 	}
-	fmt.Println("majicd: bye")
+	logger.Info("stopped")
 }

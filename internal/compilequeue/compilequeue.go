@@ -12,7 +12,13 @@
 // JIT-miss jobs, and hot-entry recompilation upgrades alike.
 package compilequeue
 
-import "sync"
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
 
 // Ticket is a handle on a submitted job. Every caller that requested
 // the same key holds the same ticket; Wait blocks until the job's
@@ -50,9 +56,10 @@ type Stats struct {
 }
 
 type job struct {
-	key    string
-	fn     func() error
-	ticket *Ticket
+	key      string
+	fn       func() error
+	ticket   *Ticket
+	enqueued time.Time // set when a tracer is attached; zero otherwise
 }
 
 // Pool is a bounded worker pool with single-flight keyed submission.
@@ -69,6 +76,9 @@ type Pool struct {
 	closed   bool
 	workers  int
 	wg       sync.WaitGroup
+	// tracer, when attached, receives one queue-wait span and one run
+	// span per job (tid = worker index). Nil-safe; set it before traffic.
+	tracer *telemetry.Tracer
 }
 
 // New starts a pool with the given number of workers (minimum 1).
@@ -80,13 +90,31 @@ func New(workers int) *Pool {
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go p.worker()
+		go p.worker(i)
 	}
 	return p
 }
 
 // Workers returns the pool's worker count.
 func (p *Pool) Workers() int { return p.workers }
+
+// SetTracer attaches a span tracer: each job then records a queue-wait
+// span (submission to dequeue) and a run span, on the worker's lane.
+// Attach before the pool sees traffic.
+func (p *Pool) SetTracer(tr *telemetry.Tracer) {
+	p.mu.Lock()
+	p.tracer = tr
+	p.mu.Unlock()
+}
+
+// jobCategory derives the span name from the single-flight key's prefix
+// (jit, tier, osr, spec, up — see the engine's key formats).
+func jobCategory(key string) string {
+	if i := strings.IndexByte(key, 0); i > 0 {
+		return key[:i]
+	}
+	return "job"
+}
 
 // Do submits fn under key. If a job with the same key is already in
 // flight (queued or executing), fn is dropped and the existing job's
@@ -115,14 +143,18 @@ func (p *Pool) Do(key string, fn func() error) (t *Ticket, started bool) {
 		p.mu.Unlock()
 		return t, true
 	}
+	j := &job{key: key, fn: fn, ticket: t}
+	if p.tracer != nil {
+		j.enqueued = time.Now()
+	}
 	p.inflight[key] = t
-	p.queue = append(p.queue, &job{key: key, fn: fn, ticket: t})
+	p.queue = append(p.queue, j)
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	return t, true
 }
 
-func (p *Pool) worker() {
+func (p *Pool) worker(id int) {
 	defer p.wg.Done()
 	for {
 		p.mu.Lock()
@@ -137,9 +169,20 @@ func (p *Pool) worker() {
 		j := p.queue[0]
 		p.queue = p.queue[1:]
 		p.active++
+		tr := p.tracer
 		p.mu.Unlock()
 
+		var start time.Time
+		if tr != nil {
+			start = time.Now()
+			if !j.enqueued.IsZero() {
+				tr.Span(telemetry.CatQueue, jobCategory(j.key)+" wait", id, j.enqueued, start.Sub(j.enqueued))
+			}
+		}
 		err := j.fn()
+		if tr != nil {
+			tr.Span(telemetry.CatCompile, jobCategory(j.key), id, start, time.Since(start))
+		}
 
 		j.ticket.err = err
 		close(j.ticket.done)

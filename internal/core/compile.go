@@ -12,6 +12,7 @@ import (
 	"repro/internal/inline"
 	"repro/internal/opt"
 	"repro/internal/regalloc"
+	"repro/internal/telemetry"
 	"repro/internal/types"
 	"repro/internal/vm"
 )
@@ -46,7 +47,13 @@ func (e *Engine) compile(fn *ast.Function, sig types.Signature, po pipelineOpts)
 	tbl := disambig.Analyze(g, work.Ins, disambig.ResolverFunc(func(name string) bool {
 		return e.LookupFunction(name) != nil
 	}))
-	atomic.AddInt64(&e.timing.Disambig, time.Since(t0).Nanoseconds())
+	// Each phase duration is measured once and fed to both the
+	// PhaseTimes atomic and the trace span, so span-category totals
+	// reconcile with the Figure 6 decomposition exactly (modulo the
+	// trace format's microsecond granularity).
+	d0 := time.Since(t0)
+	atomic.AddInt64(&e.timing.Disambig, d0.Nanoseconds())
+	e.tracer.Span(telemetry.CatDisambig, fn.Name, e.id, t0, d0)
 	if tbl.HasAmbiguous {
 		return nil, &codegen.ErrUnsupported{Reason: "ambiguous or undefined symbols"}
 	}
@@ -58,14 +65,18 @@ func (e *Engine) compile(fn *ast.Function, sig types.Signature, po pipelineOpts)
 		params[p] = sig[i]
 	}
 	res := infer.Forward(g, params, e.inferOptsFor(po))
-	atomic.AddInt64(&e.timing.TypeInf, time.Since(t1).Nanoseconds())
+	d1 := time.Since(t1)
+	atomic.AddInt64(&e.timing.TypeInf, d1.Nanoseconds())
+	e.tracer.Span(telemetry.CatTypeInf, fn.Name, e.id, t1, d1)
 
 	// Pass 4: code generation (+ backend optimization + regalloc).
 	t2 := time.Now()
 	ccfg := e.codegenConfig(po)
 	prog, err := codegen.Compile(work, res, tbl, ccfg)
 	if err != nil {
-		atomic.AddInt64(&e.timing.Codegen, time.Since(t2).Nanoseconds())
+		d2 := time.Since(t2)
+		atomic.AddInt64(&e.timing.Codegen, d2.Nanoseconds())
+		e.tracer.Span(telemetry.CatCodegen, fn.Name, e.id, t2, d2)
 		return nil, err
 	}
 	if po.optimize {
@@ -82,7 +93,9 @@ func (e *Engine) compile(fn *ast.Function, sig types.Signature, po pipelineOpts)
 	ra.SpillAll = e.opts.SpillAll
 	regalloc.Allocate(prog, ra)
 	code, err := vm.Prepare(prog)
-	atomic.AddInt64(&e.timing.Codegen, time.Since(t2).Nanoseconds())
+	d2 := time.Since(t2)
+	atomic.AddInt64(&e.timing.Codegen, d2.Nanoseconds())
+	e.tracer.Span(telemetry.CatCodegen, fn.Name, e.id, t2, d2)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/builtins"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/parser"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 )
 
 // Tier selects how function calls are executed.
@@ -196,6 +198,21 @@ type Options struct {
 	// is process-wide (the worker pool is shared), so the last engine
 	// to set a non-zero value wins — mirroring mat.EnablePool.
 	Threads int
+
+	// Tracer, when set, receives per-eval trace spans: parse,
+	// disambiguation, type inference, code generation, compile-queue
+	// wait, execution, tier-up, and OSR transfer — each recorded with
+	// the very same duration the engine adds to PhaseTimes, so a trace's
+	// per-category totals reconcile with the Figure 6 decomposition. Nil
+	// (the default) records nothing and adds no timing calls beyond the
+	// ones PhaseTimes already makes.
+	Tracer *telemetry.Tracer
+
+	// Journal, when set (and Library is nil), attaches the tiering
+	// event journal to the engine's private library: promotions,
+	// evictions, snapshot load/flush, and cause-attributed deopts. With
+	// a shared Library, the library's own journal rules.
+	Journal *telemetry.Journal
 }
 
 // Engine is the public entry point: a MATLAB workspace plus the code
@@ -219,7 +236,15 @@ type Engine struct {
 	// phase timing for Figure 6; accumulated with atomics because async
 	// mode compiles on worker goroutines.
 	timing PhaseTimes
+	// tracer is Options.Tracer (nil-safe everywhere it is used); id is
+	// the engine's trace lane (tid), distinct per engine so a daemon's
+	// sessions separate in chrome://tracing.
+	tracer *telemetry.Tracer
+	id     int
 }
+
+// engineIDs hands out trace lanes.
+var engineIDs atomic.Int64
 
 // New creates an Engine.
 func New(opts Options) *Engine {
@@ -234,6 +259,8 @@ func New(opts Options) *Engine {
 		ctx:     ctx,
 		opts:    opts,
 		globals: make(map[string]*mat.Value),
+		tracer:  opts.Tracer,
+		id:      int(engineIDs.Add(1)),
 	}
 	if opts.Library != nil {
 		e.lib = opts.Library
@@ -243,6 +270,8 @@ func New(opts Options) *Engine {
 			CompileWorkers: opts.CompileWorkers,
 			RepoMaxEntries: opts.RepoMaxEntries,
 			Tiered:         opts.Tiered,
+			Tracer:         opts.Tracer,
+			Journal:        opts.Journal,
 		})
 		e.ownLib = true
 	}
@@ -396,14 +425,32 @@ func (e *Engine) Precompile() {
 // definitions in src are registered; script statements execute in the
 // interactive front end (interpreted, with calls deferred per the tier).
 func (e *Engine) EvalString(src string) error {
+	if e.tracer == nil {
+		file, err := parser.Parse(src)
+		if err != nil {
+			return err
+		}
+		for _, fn := range file.Funcs {
+			e.registerFunction(fn)
+		}
+		return e.in.ExecStmts(file.Stmts, e.workspace)
+	}
+
+	// Traced path: one eval span enclosing a parse span (the compile and
+	// exec spans inside are emitted where PhaseTimes is accumulated).
+	t0 := time.Now()
 	file, err := parser.Parse(src)
+	e.tracer.Span(telemetry.CatParse, "parse", e.id, t0, time.Since(t0))
 	if err != nil {
+		e.tracer.Span(telemetry.CatEval, "eval", e.id, t0, time.Since(t0))
 		return err
 	}
 	for _, fn := range file.Funcs {
 		e.registerFunction(fn)
 	}
-	return e.in.ExecStmts(file.Stmts, e.workspace)
+	err = e.in.ExecStmts(file.Stmts, e.workspace)
+	e.tracer.Span(telemetry.CatEval, "eval", e.id, t0, time.Since(t0))
+	return err
 }
 
 // Workspace returns the value of a workspace variable.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/profile"
 	"repro/internal/repo"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 )
 
@@ -51,6 +53,12 @@ type Library struct {
 	pmu       sync.Mutex
 	writer    *persist.Writer
 	loadStats persist.LoadStats
+
+	// journal is the tiering event journal (may be nil — every Record
+	// call is nil-safe): promotions, evictions, snapshot load/flush, and
+	// cause-attributed deopts, shared by everything attached to this
+	// library.
+	journal *telemetry.Journal
 }
 
 // LibraryOptions configure a shared library.
@@ -72,6 +80,12 @@ type LibraryOptions struct {
 	// execution promotes hot signatures and compiles OSR continuations
 	// in the background, which needs workers.
 	Tiered bool
+	// Tracer, when set, records queue-wait and job-run spans for every
+	// background compile job on the library's pool.
+	Tracer *telemetry.Tracer
+	// Journal, when set, receives the library's tiering events
+	// (promotions, evictions, snapshot load/flush, deopts with causes).
+	Journal *telemetry.Journal
 }
 
 // NewLibrary creates a shared code library.
@@ -80,16 +94,23 @@ func NewLibrary(opts LibraryOptions) *Library {
 		funcs:    make(map[string]*ast.Function),
 		repo:     repo.NewBounded(opts.RepoMaxEntries),
 		profiles: profile.NewStore(),
+		journal:  opts.Journal,
 	}
+	l.repo.SetJournal(opts.Journal)
 	if opts.AsyncCompile || opts.Tiered {
 		workers := opts.CompileWorkers
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
 		l.queue = compilequeue.New(workers)
+		l.queue.SetTracer(opts.Tracer)
 	}
 	return l
 }
+
+// Journal returns the library's tiering event journal (nil when none
+// was attached).
+func (l *Library) Journal() *telemetry.Journal { return l.journal }
 
 // Close shuts down the library's compile pool (no-op in sync mode) and
 // then flushes and closes the persistence writer, so the final snapshot
@@ -366,11 +387,24 @@ func (l *Library) EnablePersistence(path string, debounce time.Duration) persist
 		st.Error = err.Error()
 	}
 	w := persist.NewWriter(path, l.ExportSnapshot, debounce)
+	w.SetJournal(l.journal)
 	l.pmu.Lock()
 	l.writer = w
 	l.loadStats = st
 	l.pmu.Unlock()
 	l.repo.SetOnChange(w.Notify)
+	if st.Attempted {
+		cause := "warm-start"
+		if st.Error != "" {
+			cause = "rejected"
+		}
+		l.journal.Record(telemetry.Event{
+			Kind:  telemetry.EventSnapshotLoad,
+			Cause: cause,
+			Detail: fmt.Sprintf("loaded %d entries/%d functions, rejected %d/%d, path=%s",
+				st.LoadedEntries, st.LoadedFunctions, st.RejectedEntries, st.RejectedFunctions, path),
+		})
+	}
 	return st
 }
 

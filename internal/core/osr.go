@@ -39,11 +39,13 @@ package core
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/interp"
 	"repro/internal/mat"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 	"repro/internal/types"
 	"repro/internal/vm"
 )
@@ -159,13 +161,23 @@ func (r *repoState) requestOSR(fr *interp.Frame, loop ast.Stmt, st *profile.OSRS
 			st.Failed.Store(true)
 			return nil
 		}
+		t0 := time.Now()
 		code, err := e.compile(synth, sig, pipelineOpts{optimize: true})
+		e.tracer.Span(telemetry.CatOSR, name+" compile", e.id, t0, time.Since(t0))
 		if err != nil {
 			st.Failed.Store(true)
 			return nil
 		}
 		st.Publish(&profile.OSREntry{Params: params, Sig: sig, Code: code, Gen: gen, ForLoop: forLoop})
 		e.lib.profiles.CountOSRCompile()
+		e.lib.journal.Record(telemetry.Event{
+			Kind:   telemetry.EventOSRCompile,
+			Func:   name,
+			Sig:    sig.Key(),
+			Cause:  "hot-loop",
+			Gen:    gen,
+			Detail: fmt.Sprintf("loop=%d live=%d", idx, len(live)),
+		})
 		return nil
 	}
 	if e.lib.queue != nil {
@@ -182,8 +194,15 @@ func (r *repoState) requestOSR(fr *interp.Frame, loop ast.Stmt, st *profile.OSRS
 // and a deopt streak recompiles the site once before giving up on it.
 func (r *repoState) osrTransfer(fr *interp.Frame, st *profile.OSRState, entry *profile.OSREntry, env *interp.Env, fs *interp.ForOSR) ([]*mat.Value, interp.OSRResult, error) {
 	e := r.e
-	deopt := func() ([]*mat.Value, interp.OSRResult, error) {
-		e.lib.profiles.CountOSRDeopt()
+	deopt := func(cause profile.DeoptCause) ([]*mat.Value, interp.OSRResult, error) {
+		e.lib.profiles.CountOSRDeopt(cause)
+		e.lib.journal.Record(telemetry.Event{
+			Kind:  telemetry.EventDeopt,
+			Func:  fr.Fn.Name,
+			Sig:   entry.Sig.Key(),
+			Cause: cause.String(),
+			Gen:   entry.Gen,
+		})
 		if st.Deopts.Add(1) >= osrDeoptBudget {
 			if st.Recompiles.CompareAndSwap(0, 1) {
 				// One fresh request against the current frame shape.
@@ -194,6 +213,14 @@ func (r *repoState) osrTransfer(fr *interp.Frame, st *profile.OSRState, entry *p
 				// The adaptive recompile was already spent and the site
 				// still churns: give up on it for good.
 				e.lib.profiles.CountDeoptBudgetExhausted()
+				e.lib.journal.Record(telemetry.Event{
+					Kind:   telemetry.EventDeopt,
+					Func:   fr.Fn.Name,
+					Sig:    entry.Sig.Key(),
+					Cause:  telemetry.CauseBudgetExhausted,
+					Gen:    entry.Gen,
+					Detail: fmt.Sprintf("site abandoned after %d deopts", osrDeoptBudget),
+				})
 				st.Failed.Store(true)
 				return nil, interp.OSRNever, nil
 			}
@@ -204,10 +231,10 @@ func (r *repoState) osrTransfer(fr *interp.Frame, st *profile.OSRState, entry *p
 	// Generation guard: a redefinition (even mid-activation) deopts —
 	// the continuation must never outlive its source.
 	if entry.Gen != fr.Gen || r.r.Generation(fr.Fn.Name) != entry.Gen {
-		return deopt()
+		return deopt(profile.DeoptGeneration)
 	}
 	if entry.ForLoop != (fs != nil) {
-		return deopt()
+		return deopt(profile.DeoptBinding)
 	}
 
 	// Materialize the frame: live values in compiled formal order. A
@@ -226,7 +253,7 @@ func (r *repoState) osrTransfer(fr *interp.Frame, st *profile.OSRState, entry *p
 			if entry.ForLoop && n == fs.Var {
 				v = mat.Scalar(fs.Lo + float64(fs.K)*fs.Step)
 			} else {
-				return deopt()
+				return deopt(profile.DeoptBinding)
 			}
 		}
 		vals = append(vals, v)
@@ -241,10 +268,17 @@ func (r *repoState) osrTransfer(fr *interp.Frame, st *profile.OSRState, entry *p
 	// assumptions, or the transfer would compute with the wrong
 	// specialization.
 	if !entry.Sig.Safe(types.SignatureOf(vals)) {
-		return deopt()
+		return deopt(profile.DeoptRange)
 	}
 
+	var t0 time.Time
+	if e.tracer != nil {
+		t0 = time.Now()
+	}
 	outs, err := vm.Run(entry.Code, e, vals)
+	if e.tracer != nil {
+		e.tracer.Span(telemetry.CatOSR, fr.Fn.Name+" transfer", e.id, t0, time.Since(t0))
+	}
 	if err != nil {
 		// Not a deopt: the continuation may have performed side
 		// effects, so re-interpreting could double them. The error is
@@ -258,6 +292,13 @@ func (r *repoState) osrTransfer(fr *interp.Frame, st *profile.OSRState, entry *p
 		return nil, interp.OSRNo, err
 	}
 	e.lib.profiles.CountOSRTransfer()
+	e.lib.journal.Record(telemetry.Event{
+		Kind:  telemetry.EventOSRTransfer,
+		Func:  fr.Fn.Name,
+		Sig:   entry.Sig.Key(),
+		Cause: "guards-passed",
+		Gen:   entry.Gen,
+	})
 	return outs, interp.OSRDone, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/profile"
 	"repro/internal/repo"
+	"repro/internal/telemetry"
 	"repro/internal/types"
 	"repro/internal/vm"
 )
@@ -193,7 +194,16 @@ func (r *repoState) invokeAsync(fn *ast.Function, sig, csig types.Signature, po 
 		return r.runEntry(&repo.Entry{Quality: repo.QualityInterp}, fn, args, nout)
 	}
 
-	if err := ticket.Wait(); err != nil {
+	if e.tracer != nil {
+		// Queue-wait span: how long this caller blocked on the compile
+		// ticket (zero when the job already landed).
+		tw := time.Now()
+		err := ticket.Wait()
+		e.tracer.Span(telemetry.CatQueue, name, e.id, tw, time.Since(tw))
+		if err != nil {
+			return nil, err
+		}
+	} else if err := ticket.Wait(); err != nil {
 		return nil, err
 	}
 	if entry := r.r.Lookup(name, sig); entry != nil {
@@ -249,7 +259,9 @@ func (r *repoState) runEntry(entry *repo.Entry, fn *ast.Function, args []*mat.Va
 		outs, err = vm.Run(entry.Code, r.e, args)
 	}
 	if depth == 1 {
-		atomic.AddInt64(&r.e.timing.Exec, time.Since(t0).Nanoseconds())
+		d := time.Since(t0)
+		atomic.AddInt64(&r.e.timing.Exec, d.Nanoseconds())
+		r.e.tracer.Span(telemetry.CatExec, fn.Name, r.e.id, t0, d)
 	}
 	atomic.AddInt32(&r.callDepth, -1)
 	if err != nil {
@@ -303,7 +315,9 @@ func (r *repoState) invokeTiered(fn *ast.Function, args []*mat.Value, nout int) 
 	}
 	outs, err := e.in.CallFunctionTiered(fn, args, nout, e.globals, fr)
 	if depth == 1 {
-		atomic.AddInt64(&e.timing.Exec, time.Since(t0).Nanoseconds())
+		d := time.Since(t0)
+		atomic.AddInt64(&e.timing.Exec, d.Nanoseconds())
+		e.tracer.Span(telemetry.CatExec, fn.Name, e.id, t0, d)
 	}
 	atomic.AddInt32(&r.callDepth, -1)
 	if err != nil {
@@ -342,7 +356,9 @@ func (r *repoState) maybePromote(name string, sp *profile.SigProfile, gen uint64
 			sp.PromotionDone()
 			return nil
 		}
+		t0 := time.Now()
 		code, err := e.compile(e.LookupFunction(name), csig, pipelineOpts{optimize: true})
+		e.tracer.Span(telemetry.CatTierUp, name, e.id, t0, time.Since(t0))
 		if err != nil {
 			if _, unsupported := err.(*codegen.ErrUnsupported); unsupported {
 				// Cache the decision so plain lookups stop missing, and
@@ -354,6 +370,14 @@ func (r *repoState) maybePromote(name string, sp *profile.SigProfile, gen uint64
 		}
 		if r.r.InsertAt(name, &repo.Entry{Sig: csig, Code: code, Quality: repo.QualityOpt}, gen) {
 			e.lib.profiles.CountPromotion()
+			e.lib.journal.Record(telemetry.Event{
+				Kind:   telemetry.EventPromotion,
+				Func:   name,
+				Sig:    csig.Key(),
+				Cause:  "hot-signature",
+				Gen:    gen,
+				Detail: fmt.Sprintf("entries=%d round=%d", sp.Entries(), sp.PromotionRound()+1),
+			})
 		}
 		sp.PromotionDone()
 		return nil

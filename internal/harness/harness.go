@@ -21,6 +21,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/profile"
 	"repro/internal/repo"
+	"repro/internal/telemetry"
 )
 
 // Config controls a harness run.
@@ -49,6 +50,14 @@ type Config struct {
 	// TierThreshold overrides the promotion threshold for the tiered
 	// arm (0 = engine default).
 	TierThreshold int
+	// Tracer, when set, receives per-eval spans (parse, disambiguation,
+	// type inference, codegen, queue wait, exec, tier-up, OSR) from
+	// every engine the harness builds — the -trace=FILE flight-recorder
+	// path. Nil keeps measurement engines untraced (paper mode).
+	Tracer *telemetry.Tracer
+	// Journal, when set, receives tiering events (promotions,
+	// evictions, cause-attributed deopts) from every engine.
+	Journal *telemetry.Journal
 }
 
 func (c Config) reps() int {
@@ -94,6 +103,8 @@ func (c Config) newEngine(b *bench.Benchmark, opts core.Options) (*core.Engine, 
 	if c.Threads > 0 {
 		opts.Threads = c.Threads
 	}
+	opts.Tracer = c.Tracer
+	opts.Journal = c.Journal
 	e := core.New(opts)
 	if err := e.Define(b.Source(c.Size)); err != nil {
 		return nil, fmt.Errorf("%s: %w", b.Name, err)

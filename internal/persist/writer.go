@@ -1,11 +1,14 @@
 package persist
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // WriterStats counts snapshot-writer traffic (all fields are updated
@@ -48,6 +51,10 @@ type Writer struct {
 
 	notifies, saves, saveErrors   atomic.Uint64
 	snapshotBytes, snapshotCounts atomic.Uint64
+
+	// journal, when set, receives one snapshot_flush event per
+	// successful save (nil-safe; saves are debounced and rare).
+	journal atomic.Pointer[telemetry.Journal]
 }
 
 // NewWriter creates a write-behind snapshotter for path. src must be
@@ -67,6 +74,14 @@ func NewWriter(path string, src func() *Snapshot, delay time.Duration) *Writer {
 
 // Path returns the snapshot file path.
 func (w *Writer) Path() string { return w.path }
+
+// SetJournal attaches the tiering event journal; each completed save
+// records a snapshot_flush event.
+func (w *Writer) SetJournal(j *telemetry.Journal) {
+	if j != nil {
+		w.journal.Store(j)
+	}
+}
 
 // Notify marks the repository dirty and (re)arms the debounced save.
 // Safe from any goroutine; cheap enough for every repository mutation.
@@ -175,6 +190,11 @@ func (w *Writer) saveLocked() error {
 		n += len(fs.Entries)
 	}
 	w.snapshotCounts.Store(uint64(n))
+	w.journal.Load().Record(telemetry.Event{
+		Kind:   telemetry.EventSnapshotFlush,
+		Cause:  "write-behind",
+		Detail: fmt.Sprintf("bytes=%d entries=%d path=%s", len(data), n, w.path),
+	})
 	return nil
 }
 

@@ -36,12 +36,42 @@ type Store struct {
 	mu    sync.Mutex
 	funcs map[string]*FuncProfile
 
-	promotions    atomic.Int64
-	osrRequests   atomic.Int64
-	osrCompiles   atomic.Int64
-	osrTransfers  atomic.Int64
-	osrDeopts     atomic.Int64
+	promotions   atomic.Int64
+	osrRequests  atomic.Int64
+	osrCompiles  atomic.Int64
+	osrTransfers atomic.Int64
+	// osrDeopts is indexed by DeoptCause, so every deopt is attributed
+	// to the specific guard that rejected the transfer.
+	osrDeopts     [deoptCauses]atomic.Int64
 	budgetExhaust atomic.Int64
+}
+
+// DeoptCause names the guard that rejected an OSR transfer.
+type DeoptCause uint8
+
+const (
+	// DeoptGeneration: the code generation advanced under the loop (the
+	// function was redefined while the continuation was compiling).
+	DeoptGeneration DeoptCause = iota
+	// DeoptBinding: the live-variable frame didn't match the compiled
+	// continuation (missing binding or counted/while loop mismatch).
+	DeoptBinding
+	// DeoptRange: a live value escaped the ranges the continuation was
+	// specialised for (Sig.Safe failed).
+	DeoptRange
+	deoptCauses
+)
+
+func (c DeoptCause) String() string {
+	switch c {
+	case DeoptGeneration:
+		return "generation-mismatch"
+	case DeoptBinding:
+		return "binding-guard"
+	case DeoptRange:
+		return "range-guard"
+	}
+	return "unknown"
 }
 
 // NewStore returns an empty profile store.
@@ -79,9 +109,12 @@ func (s *Store) CountOSRCompile() { s.osrCompiles.Add(1) }
 func (s *Store) CountOSRTransfer() { s.osrTransfers.Add(1) }
 
 // CountOSRDeopt records a guarded transfer attempt that fell back to
-// the interpreter (generation moved, frame shape mismatch, or a value
-// outside the compiled signature).
-func (s *Store) CountOSRDeopt() { s.osrDeopts.Add(1) }
+// the interpreter, attributed to the guard that rejected it.
+func (s *Store) CountOSRDeopt(cause DeoptCause) {
+	if cause < deoptCauses {
+		s.osrDeopts[cause].Add(1)
+	}
+}
 
 // CountDeoptBudgetExhausted records an OSR site hitting its deopt
 // budget after its one adaptive recompile was already spent — the site
@@ -98,7 +131,11 @@ type Stats struct {
 	OSRRequests  int64 `json:"osr_requests"`
 	OSRCompiles  int64 `json:"osr_compiles"`
 	OSRTransfers int64 `json:"osr_transfers"`
-	OSRDeopts    int64 `json:"osr_deopts"`
+	OSRDeopts    int64 `json:"osr_deopts"` // sum of the per-cause counters below
+	// Per-cause deopt attribution: which guard rejected the transfer.
+	OSRDeoptsGeneration int64 `json:"osr_deopts_generation"`
+	OSRDeoptsBinding    int64 `json:"osr_deopts_binding"`
+	OSRDeoptsRange      int64 `json:"osr_deopts_range"`
 	// DeoptBudgetExhausted counts OSR sites abandoned because they kept
 	// deopting after their single adaptive recompile.
 	DeoptBudgetExhausted int64 `json:"deopt_budget_exhausted"`
@@ -111,9 +148,12 @@ func (s *Store) Stats() Stats {
 		OSRRequests:          s.osrRequests.Load(),
 		OSRCompiles:          s.osrCompiles.Load(),
 		OSRTransfers:         s.osrTransfers.Load(),
-		OSRDeopts:            s.osrDeopts.Load(),
+		OSRDeoptsGeneration:  s.osrDeopts[DeoptGeneration].Load(),
+		OSRDeoptsBinding:     s.osrDeopts[DeoptBinding].Load(),
+		OSRDeoptsRange:       s.osrDeopts[DeoptRange].Load(),
 		DeoptBudgetExhausted: s.budgetExhaust.Load(),
 	}
+	st.OSRDeopts = st.OSRDeoptsGeneration + st.OSRDeoptsBinding + st.OSRDeoptsRange
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st.Functions = len(s.funcs)

@@ -184,11 +184,13 @@ func TestStatsAggregation(t *testing.T) {
 	s.CountOSRRequest()
 	s.CountOSRCompile()
 	s.CountOSRTransfer()
-	s.CountOSRDeopt()
-	s.CountOSRDeopt()
+	s.CountOSRDeopt(DeoptGeneration)
+	s.CountOSRDeopt(DeoptRange)
+	s.CountOSRDeopt(DeoptRange)
 	st := s.Stats()
 	want := Stats{Functions: 2, Signatures: 2, Entries: 3, BackEdges: 10,
-		Promotions: 1, OSRRequests: 1, OSRCompiles: 1, OSRTransfers: 1, OSRDeopts: 2}
+		Promotions: 1, OSRRequests: 1, OSRCompiles: 1, OSRTransfers: 1, OSRDeopts: 3,
+		OSRDeoptsGeneration: 1, OSRDeoptsRange: 2}
 	if st != want {
 		t.Fatalf("stats = %+v, want %+v", st, want)
 	}

@@ -20,9 +20,11 @@
 package repo
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/telemetry"
 	"repro/internal/types"
 	"repro/internal/vm"
 )
@@ -97,6 +99,9 @@ type Repository struct {
 	// would contain: inserts, replaces, and invalidations. The
 	// persistence layer hooks its write-behind snapshotter here.
 	onChange func()
+	// journal, when set, receives one eviction event per capacity
+	// eviction (nil-safe; evictions are already a slow path).
+	journal *telemetry.Journal
 }
 
 // New returns an empty, unbounded repository.
@@ -181,6 +186,15 @@ func (r *Repository) Entries(name string) []*Entry {
 func (r *Repository) SetOnChange(fn func()) {
 	r.mu.Lock()
 	r.onChange = fn
+	r.mu.Unlock()
+}
+
+// SetJournal attaches the tiering event journal; capacity evictions are
+// recorded with the victim's signature and hit count. Set it before the
+// repository sees concurrent traffic, like SetOnChange.
+func (r *Repository) SetJournal(j *telemetry.Journal) {
+	r.mu.Lock()
+	r.journal = j
 	r.mu.Unlock()
 }
 
@@ -290,8 +304,17 @@ func (r *Repository) evictLocked(name string, keep *Entry) {
 	if victim == -1 {
 		return
 	}
+	v := entries[victim]
 	r.funcs[name] = append(entries[:victim], entries[victim+1:]...)
 	r.stats.Evictions++
+	r.journal.Record(telemetry.Event{
+		Kind:   telemetry.EventEviction,
+		Func:   name,
+		Sig:    v.Sig.Key(),
+		Cause:  "capacity",
+		Gen:    r.gens[name],
+		Detail: fmt.Sprintf("quality=%s hits=%d", v.Quality, v.Hits()),
+	})
 }
 
 // Replace swaps a published entry for its recompiled upgrade, carrying

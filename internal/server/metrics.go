@@ -1,8 +1,11 @@
 package server
 
 import (
+	"math"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // latBounds are the latency histogram bucket upper bounds in
@@ -16,10 +19,12 @@ var latBounds = []uint64{
 }
 
 // hist is a lock-free latency histogram: counts per bucket plus a
-// running sum, all atomics. One final bucket catches > 5s.
+// running sum and the observed maximum, all atomics. One final bucket
+// catches > 5s.
 type hist struct {
 	count   atomic.Uint64
 	sumUS   atomic.Uint64
+	maxUS   atomic.Uint64
 	buckets [17]atomic.Uint64 // len(latBounds) + overflow
 }
 
@@ -27,6 +32,11 @@ func (h *hist) observe(d time.Duration) {
 	us := uint64(d.Microseconds())
 	h.count.Add(1)
 	h.sumUS.Add(us)
+	for m := h.maxUS.Load(); us > m; m = h.maxUS.Load() {
+		if h.maxUS.CompareAndSwap(m, us) {
+			break
+		}
+	}
 	for i, b := range latBounds {
 		if us <= b {
 			h.buckets[i].Add(1)
@@ -38,12 +48,17 @@ func (h *hist) observe(d time.Duration) {
 
 // quantile estimates the q-quantile (0 < q < 1) as the upper bound of
 // the bucket where the cumulative count crosses q — the standard
-// bucketed-histogram estimate, biased at most one bucket upward.
+// bucketed-histogram estimate, biased at most one bucket upward. The
+// estimate is clamped to the observed maximum, which removes the
+// pathological bias for sparse histograms (a single 60µs request must
+// not report p99 = 100µs), and makes the overflow bucket report the
+// real tail value instead of a made-up "beyond the table" constant.
 func (h *hist) quantile(q float64) uint64 {
 	total := h.count.Load()
 	if total == 0 {
 		return 0
 	}
+	max := h.maxUS.Load()
 	rank := uint64(q * float64(total))
 	if rank < 1 {
 		rank = 1
@@ -52,16 +67,20 @@ func (h *hist) quantile(q float64) uint64 {
 	for i := range latBounds {
 		cum += h.buckets[i].Load()
 		if cum >= rank {
+			if latBounds[i] > max {
+				return max
+			}
 			return latBounds[i]
 		}
 	}
-	return latBounds[len(latBounds)-1] * 2 // overflow bucket: beyond the table
+	return max // crossing in the overflow bucket: the max is the only bound we have
 }
 
 // RouteMetrics is one route's latency summary in the /metrics payload.
 type RouteMetrics struct {
 	Count  uint64 `json:"count"`
 	MeanUS uint64 `json:"mean_us"`
+	MaxUS  uint64 `json:"max_us"`
 	P50US  uint64 `json:"p50_us"`
 	P95US  uint64 `json:"p95_us"`
 	P99US  uint64 `json:"p99_us"`
@@ -71,6 +90,7 @@ func (h *hist) snapshot() RouteMetrics {
 	n := h.count.Load()
 	m := RouteMetrics{
 		Count: n,
+		MaxUS: h.maxUS.Load(),
 		P50US: h.quantile(0.50),
 		P95US: h.quantile(0.95),
 		P99US: h.quantile(0.99),
@@ -79,6 +99,27 @@ func (h *hist) snapshot() RouteMetrics {
 		m.MeanUS = h.sumUS.Load() / n
 	}
 	return m
+}
+
+// sample renders the histogram as one Prometheus histogram sample
+// (cumulative buckets, seconds).
+func (h *hist) sample(name, help string, labels ...telemetry.Label) telemetry.Sample {
+	s := telemetry.Sample{
+		Name:   name,
+		Help:   help,
+		Kind:   telemetry.KindHistogram,
+		Labels: labels,
+		Sum:    float64(h.sumUS.Load()) / 1e6,
+		Count:  h.count.Load(),
+	}
+	var cum uint64
+	for i, b := range latBounds {
+		cum += h.buckets[i].Load()
+		s.Buckets = append(s.Buckets, telemetry.Bucket{UpperBound: float64(b) / 1e6, Count: cum})
+	}
+	cum += h.buckets[len(latBounds)].Load()
+	s.Buckets = append(s.Buckets, telemetry.Bucket{UpperBound: math.Inf(1), Count: cum})
+	return s
 }
 
 // serverMetrics aggregates the daemon's counters. Route histograms are

@@ -26,9 +26,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -39,6 +42,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/profile"
 	"repro/internal/repo"
+	"repro/internal/telemetry"
 )
 
 // Options configure a Server.
@@ -81,6 +85,18 @@ type Options struct {
 	// MaxDeadline caps (and, when a request names none, supplies) the
 	// per-eval deadline (default 60s; negative = unlimited).
 	MaxDeadline time.Duration
+
+	// Logger receives structured request logs (route, session, status,
+	// duration, deadline). Nil disables request logging.
+	Logger *slog.Logger
+	// TraceCapacity bounds the in-memory span ring served at
+	// /debug/trace (0 = telemetry.DefaultTraceCapacity). The ring keeps
+	// the most recent window, which is what an operator debugging "why
+	// is it slow now" wants from a long-lived daemon.
+	TraceCapacity int
+	// JournalCapacity bounds the tiering event journal served at
+	// /debug/events (0 = telemetry.DefaultJournalCapacity).
+	JournalCapacity int
 }
 
 func (o Options) withDefaults() Options {
@@ -111,6 +127,14 @@ type Server struct {
 	metrics *serverMetrics
 	evalSem chan struct{}
 	mux     *http.ServeMux
+	logger  *slog.Logger
+
+	// The flight-recorder surfaces: registry → /metrics.prom, tracer →
+	// /debug/trace, journal → /debug/events. All three are shared by
+	// every session engine (and, in shared mode, the library).
+	registry *telemetry.Registry
+	tracer   *telemetry.Tracer
+	journal  *telemetry.Journal
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -131,6 +155,19 @@ type Server struct {
 // http.Server, or ListenAndServe in cmd/majicd).
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	tracer := telemetry.NewTracer(opts.TraceCapacity)
+	journal := telemetry.NewJournal(opts.JournalCapacity)
+	// Every session engine traces into the daemon's ring and journals
+	// into the daemon's event buffer (isolated sessions too: their
+	// private libraries share the process-wide journal).
+	opts.Engine.Tracer = tracer
+	opts.Engine.Journal = journal
+	opts.Library.Tracer = tracer
+	opts.Library.Journal = journal
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		opts:       opts,
 		metrics:    newServerMetrics(),
@@ -138,7 +175,12 @@ func New(opts Options) *Server {
 		sessions:   make(map[string]*session),
 		reaperStop: make(chan struct{}),
 		reaperDone: make(chan struct{}),
+		logger:     logger,
+		registry:   telemetry.NewRegistry(),
+		tracer:     tracer,
+		journal:    journal,
 	}
+	s.registry.RegisterFunc("server", s.collectTelemetry)
 	if !opts.Isolated {
 		s.lib = core.NewLibrary(opts.Library)
 		if opts.RepoPath != "" {
@@ -164,6 +206,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /sessions/{id}/workspace/{name}", s.timed("workspace", s.handleWorkspace))
 	s.mux.HandleFunc("PUT /sessions/{id}/workspace/{name}", s.timed("workspace", s.handleWorkspaceSet))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm)
+	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/events", s.handleEvents)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -174,12 +219,47 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
-// timed wraps a handler with its route's latency histogram.
+// statusRecorder captures the response status for request logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// timed wraps a handler with its route's latency histogram and a
+// structured request log (route, method, session, status, duration).
 func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		h(w, r)
-		s.metrics.observe(route, time.Since(t0))
+		sr := &statusRecorder{ResponseWriter: w}
+		h(sr, r)
+		d := time.Since(t0)
+		s.metrics.observe(route, d)
+		status := sr.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		attrs := []any{
+			slog.String("route", route),
+			slog.String("method", r.Method),
+			slog.Int("status", status),
+			slog.Duration("duration", d),
+		}
+		if id := r.PathValue("id"); id != "" {
+			attrs = append(attrs, slog.String("session", id))
+		}
+		s.logger.Info("request", attrs...)
 	}
 }
 
@@ -281,6 +361,9 @@ func addProfileCounters(dst *profile.Stats, ps profile.Stats) {
 	dst.OSRCompiles += ps.OSRCompiles
 	dst.OSRTransfers += ps.OSRTransfers
 	dst.OSRDeopts += ps.OSRDeopts
+	dst.OSRDeoptsGeneration += ps.OSRDeoptsGeneration
+	dst.OSRDeoptsBinding += ps.OSRDeoptsBinding
+	dst.OSRDeoptsRange += ps.OSRDeoptsRange
 	dst.DeoptBudgetExhausted += ps.DeoptBudgetExhausted
 }
 
@@ -337,6 +420,10 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if s.opts.MaxDeadline > 0 && (deadline <= 0 || deadline > s.opts.MaxDeadline) {
 		deadline = s.opts.MaxDeadline
 	}
+	s.logger.Debug("eval",
+		slog.String("session", r.PathValue("id")),
+		slog.Duration("deadline", deadline),
+		slog.Int("src_bytes", len(req.Src)))
 
 	s.metrics.evalsInflight.Add(1)
 	t0 := time.Now()
@@ -489,6 +576,82 @@ func (s *Server) Metrics() MetricsSnapshot {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// handleMetricsProm serves the same counters as /metrics in Prometheus
+// text exposition format 0.0.4.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.registry.WritePrometheus(w); err != nil {
+		s.logger.Warn("prometheus write failed", slog.String("error", err.Error()))
+	}
+}
+
+// handleTrace streams the span ring as Chrome trace-event JSON —
+// loadable directly in chrome://tracing or Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="majic-trace.json"`)
+	if err := s.tracer.WriteJSON(w); err != nil {
+		s.logger.Warn("trace write failed", slog.String("error", err.Error()))
+	}
+}
+
+// handleEvents serves the tiering event journal: promotions,
+// evictions, snapshot I/O, and cause-attributed OSR deopts.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":  s.journal.Total(),
+		"events": s.journal.Events(),
+	})
+}
+
+// Registry exposes the telemetry registry (tests and embedders).
+func (s *Server) Registry() *telemetry.Registry { return s.registry }
+
+// Tracer exposes the daemon-wide span ring.
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
+
+// Journal exposes the daemon-wide tiering event journal.
+func (s *Server) Journal() *telemetry.Journal { return s.journal }
+
+// collectTelemetry renders the full daemon state as telemetry samples:
+// the library families (repository, queue, profile, persistence — the
+// isolated-mode aggregate reuses the same names), daemon counters, and
+// per-route latency histograms. It reads the same snapshot as the JSON
+// /metrics surface, so the two endpoints can never disagree.
+func (s *Server) collectTelemetry(emit func(telemetry.Sample)) {
+	ms := s.Metrics()
+	core.EmitLibrarySamples(emit, ms.Repo, ms.Queue, ms.Profile, ms.Persist, s.journal)
+
+	counter := telemetry.EmitCounter
+	gauge := telemetry.EmitGauge
+	gauge(emit, "majic_sessions_active", "Live sessions in the table.", float64(ms.Sessions.Active))
+	counter(emit, "majic_sessions_created_total", "Sessions ever created.", float64(ms.Sessions.Created))
+	counter(emit, "majic_sessions_evicted_total", "Sessions reaped by the idle TTL.", float64(ms.Sessions.Evicted))
+	counter(emit, "majic_sessions_rejected_total", "Creates bounced by the session cap.", float64(ms.Sessions.Rejected))
+	counter(emit, "majic_evals_total", "Evaluations executed.", float64(ms.Evals.Total))
+	counter(emit, "majic_eval_errors_total", "Evaluations that returned a program error.", float64(ms.Evals.Errors))
+	counter(emit, "majic_eval_timeouts_total", "Evaluations killed by their deadline.", float64(ms.Evals.Timeouts))
+	counter(emit, "majic_eval_rejected_total", "Evaluations bounced by admission control.", float64(ms.Evals.Rejected))
+	gauge(emit, "majic_evals_inflight", "Evaluations currently executing.", float64(ms.Evals.Inflight))
+	gauge(emit, "majic_parallel_threads", "Worker threads configured for parallel loops.", float64(ms.Parallel.Threads))
+	gauge(emit, "majic_parallel_workers", "Parallel pool workers currently alive.", float64(ms.Parallel.Workers))
+	counter(emit, "majic_buffer_pool_gets_total", "Matrix allocations routed through the pool.", float64(ms.BufferPool.Gets))
+	counter(emit, "majic_buffer_pool_hits_total", "Allocations satisfied by a recycled buffer.", float64(ms.BufferPool.Hits))
+	counter(emit, "majic_buffer_pool_recycles_total", "Buffers returned to the pool.", float64(ms.BufferPool.Recycles))
+	counter(emit, "majic_trace_spans_dropped_total", "Trace spans dropped by the bounded ring.", float64(s.tracer.Dropped()))
+
+	routes := make([]string, 0, len(s.metrics.routes))
+	for name := range s.metrics.routes {
+		routes = append(routes, name)
+	}
+	sort.Strings(routes)
+	for _, name := range routes {
+		emit(s.metrics.routes[name].sample(
+			"majic_route_latency_seconds", "Request latency by route.",
+			telemetry.Label{Key: "route", Value: name}))
+	}
 }
 
 // --- idle eviction -----------------------------------------------------------

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // testClient wraps an httptest server with the daemon's JSON protocol.
@@ -392,6 +393,96 @@ func TestShutdownInterruptsRunaway(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("runaway eval never returned")
+	}
+}
+
+// TestFlightRecorderEndpoints drives a tiered session hot enough to
+// promote, then checks the three flight-recorder surfaces: the
+// Prometheus exposition parses and covers the library families, the
+// Chrome trace has eval/exec spans, and the journal attributes events.
+func TestFlightRecorderEndpoints(t *testing.T) {
+	_, tc := startServer(t, Options{
+		Engine: core.Options{Tier: core.TierJIT, Tiered: true, TierThreshold: 3},
+	})
+	id := tc.createSession()
+	tc.eval(id, "function y = fr(x)\ny = x + 1;\n")
+	for i := 0; i < 12; i++ {
+		if code, _, bad := tc.eval(id, "r = fr(2);"); code != http.StatusOK {
+			t.Fatalf("eval %d: %+v", i, bad)
+		}
+	}
+
+	// Prometheus exposition: valid 0.0.4 text covering every subsystem.
+	code, body := tc.do("GET", "/metrics.prom", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.prom: %d", code)
+	}
+	n, err := telemetry.ValidatePrometheus(string(body))
+	if err != nil {
+		t.Fatalf("invalid exposition: %v", err)
+	}
+	if n == 0 {
+		t.Fatal("empty exposition")
+	}
+	for _, want := range []string{
+		"majic_repo_lookups_total", "majic_queue_submitted_total",
+		"majic_profile_entries_total", "majic_osr_deopts_total",
+		"majic_persist_enabled", "majic_evals_total",
+		"majic_route_latency_seconds_bucket", "majic_sessions_active",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("exposition missing %s:\n%s", want, body)
+		}
+	}
+
+	// Chrome trace: loadable JSON with at least eval and exec spans.
+	code, body = tc.do("GET", "/debug/trace", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace: %d", code)
+	}
+	var trace struct {
+		TraceEvents []telemetry.TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &trace); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	cats := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		cats[ev.Cat] = true
+	}
+	if !cats[telemetry.CatEval] || !cats[telemetry.CatExec] {
+		t.Fatalf("trace categories = %v, want eval and exec", cats)
+	}
+
+	// Journal: the hot function's promotion is recorded with its cause.
+	code, body = tc.do("GET", "/debug/events", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/events: %d", code)
+	}
+	var ev struct {
+		Total  uint64            `json:"total"`
+		Events []telemetry.Event `json:"events"`
+	}
+	if err := json.Unmarshal(body, &ev); err != nil {
+		t.Fatalf("events not JSON: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		promoted := false
+		for _, e := range ev.Events {
+			if e.Kind == telemetry.EventPromotion && e.Func == "fr" && e.Cause != "" {
+				promoted = true
+			}
+		}
+		if promoted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no promotion journaled for fr: %+v", ev.Events)
+		}
+		time.Sleep(20 * time.Millisecond)
+		_, body = tc.do("GET", "/debug/events", nil)
+		json.Unmarshal(body, &ev)
 	}
 }
 

@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span categories. Each maps to one stage of the pipeline the paper's
+// Figure 6 decomposes; the engine emits them with the very same
+// durations it adds to core.PhaseTimes, so a trace's per-category
+// totals reconcile with the figure exactly.
+const (
+	CatEval     = "eval"     // whole EvalString call
+	CatParse    = "parse"    // front-end parse
+	CatDisambig = "disambig" // MAGICA-style disambiguation
+	CatTypeInf  = "typeinf"  // type/shape inference
+	CatCodegen  = "codegen"  // code generation / specialisation
+	CatQueue    = "queue"    // compile-queue wait (ticket.Wait)
+	CatCompile  = "compile"  // background compile job execution
+	CatExec     = "exec"     // program execution
+	CatTierUp   = "tierup"   // tier promotion compile
+	CatOSR      = "osr"      // on-stack replacement compile/transfer
+)
+
+// TraceEvent is one Chrome trace-event ("X" complete event): load the
+// dump in chrome://tracing or Perfetto. Timestamps and durations are
+// microseconds; TS is relative to the tracer's start so traces from
+// different runs line up at zero.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer collects trace spans into a bounded ring. All methods are safe
+// on a nil receiver and from concurrent goroutines, so instrumentation
+// sites never branch on "is tracing on?" — a nil tracer costs one
+// predictable nil check inside the call.
+type Tracer struct {
+	start time.Time
+	cap   int
+
+	mu     sync.Mutex
+	events []TraceEvent
+	head   int // next overwrite position once the ring is full
+
+	dropped atomic.Int64 // events overwritten after the ring filled
+}
+
+// DefaultTraceCapacity bounds tracers created with capacity <= 0.
+const DefaultTraceCapacity = 1 << 16
+
+// NewTracer returns a tracer holding at most capacity spans (<= 0 means
+// DefaultTraceCapacity). When full it overwrites the oldest span and
+// counts the loss — a long-lived daemon keeps the most recent window,
+// which is the one an operator debugging "why is it slow *now*" wants.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{start: time.Now(), cap: capacity}
+}
+
+// Span records one completed span. begin is the span's wall-clock start
+// and d its duration — pass the same time.Since value the caller feeds
+// into its PhaseTimes atomic, never a second measurement. tid picks the
+// lane (engine id for eval-thread spans, compile-worker index for queue
+// jobs).
+func (t *Tracer) Span(cat, name string, tid int, begin time.Time, d time.Duration) {
+	t.span(cat, name, tid, begin, d, nil)
+}
+
+// SpanArgs is Span with key/value detail attached to the event.
+func (t *Tracer) SpanArgs(cat, name string, tid int, begin time.Time, d time.Duration, args map[string]any) {
+	t.span(cat, name, tid, begin, d, args)
+}
+
+func (t *Tracer) span(cat, name string, tid int, begin time.Time, d time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	ev := TraceEvent{
+		Name: name,
+		Cat:  cat,
+		Ph:   "X",
+		TS:   begin.Sub(t.start).Microseconds(),
+		Dur:  d.Microseconds(),
+		TID:  tid,
+		Args: args,
+	}
+	t.mu.Lock()
+	if len(t.events) < t.cap {
+		t.events = append(t.events, ev)
+	} else {
+		t.events[t.head] = ev
+		t.head = (t.head + 1) % t.cap
+		t.dropped.Add(1)
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the recorded spans, oldest first.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, len(t.events))
+	out = append(out, t.events[t.head:]...)
+	out = append(out, t.events[:t.head]...)
+	return out
+}
+
+// Dropped reports how many spans were overwritten after the ring filled.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// CatTotals sums span durations per category — the reconciliation
+// surface for the PhaseTimes guard test.
+func (t *Tracer) CatTotals() map[string]time.Duration {
+	totals := make(map[string]time.Duration)
+	for _, ev := range t.Events() {
+		totals[ev.Cat] += time.Duration(ev.Dur) * time.Microsecond
+	}
+	return totals
+}
+
+// WriteJSON emits the spans as a Chrome trace-event file:
+// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	type dump struct {
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+		Dropped         int64        `json:"droppedEventCount,omitempty"`
+	}
+	events := t.Events()
+	if events == nil {
+		events = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(dump{TraceEvents: events, DisplayTimeUnit: "ms", Dropped: t.Dropped()})
+}
+
+// WriteFile dumps the spans as a Chrome trace-event file at path — the
+// -trace=FILE exit path shared by the CLIs.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
