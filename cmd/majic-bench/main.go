@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/mat"
@@ -57,7 +58,7 @@ func writeJSONFile(path string, v any) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|table2|sec5|resp|sparse|concurrent|server|all")
+	exp := flag.String("exp", "all", "experiment: table1|fig4|fig5|fig6|fig7|table2|sec5|resp|sparse|concurrent|server|cluster|all")
 	size := flag.String("size", "medium", "problem size preset: small|medium|paper")
 	reps := flag.Int("reps", 3, "best-of repetitions (paper used 10)")
 	benches := flag.String("bench", "", "comma-separated benchmark subset (default all)")
@@ -66,7 +67,8 @@ func main() {
 	async := flag.Bool("async", false, "concurrent experiment: enable the async compilation service")
 	workers := flag.Int("workers", 0, "concurrent experiment: async compile workers (0 = GOMAXPROCS)")
 	calls := flag.Int("calls", 20, "concurrent experiment: steady-state calls per client; server experiment: replay calls per session")
-	sessions := flag.Int("sessions", 2, "server experiment: sessions per client")
+	sessions := flag.Int("sessions", 2, "server/cluster experiments: sessions per client")
+	nodes := flag.Int("nodes", 3, "cluster experiment: fleet size (in-process majicd nodes behind a gateway)")
 	addr := flag.String("addr", "", "server experiment: external majicd address (default: in-process daemons)")
 	repoPath := flag.String("repo-path", "", "server experiment: persist the repository to this file and add warm-vs-cold restart arms")
 	jsonOut := flag.Bool("json", false, "also write BENCH_fig4.json / BENCH_server.json for those experiments")
@@ -226,6 +228,29 @@ func main() {
 			Threads:        *threads,
 		}
 		run("concurrent", ccfg.Report)
+	case "cluster":
+		kcfg := cluster.BenchConfig{
+			Size:              sz,
+			Nodes:             *nodes,
+			Clients:           *clients,
+			SessionsPerClient: *sessions,
+			CallsPerSession:   *calls,
+			Benchmarks:        cfg.Benchmarks,
+			Out:               os.Stdout,
+			Async:             *async,
+			Workers:           *workers,
+			Threads:           *threads,
+		}
+		run("cluster", func() error {
+			rep, err := kcfg.Report()
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				return writeJSONFile("BENCH_cluster.json", rep)
+			}
+			return nil
+		})
 	case "server":
 		lcfg := server.LoadConfig{
 			Size:              sz,

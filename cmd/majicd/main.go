@@ -18,10 +18,16 @@
 //	GET    /metrics.prom                    → the same counters, Prometheus text exposition
 //	GET    /debug/trace                     → Chrome trace-event JSON (per-eval spans)
 //	GET    /debug/events                    → tiering event journal (promotions, deopts by cause)
-//	GET    /healthz, /debug/pprof/*
+//	GET    /healthz (liveness), /readyz (readiness; 503 while draining), /debug/pprof/*
+//	POST   /cluster/ingest                  ← a peer's replication record (binary)
+//	GET    /cluster/digest                  → per-function anti-entropy digest
 //
-// SIGINT/SIGTERM drain in-flight evaluations, close every session and
-// the shared compile queue, then exit 0.
+// Clustering: -node-id a -peers b=http://...,c=http://... replicates
+// newly compiled repository entries to the named peers (see
+// internal/cluster and cmd/majic-gate for the session router).
+//
+// SIGINT/SIGTERM mark the node not-ready, drain in-flight evaluations,
+// close every session and the shared compile queue, then exit 0.
 package main
 
 import (
@@ -32,9 +38,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/mat"
 	"repro/internal/parallel"
@@ -60,6 +68,10 @@ func main() {
 	tierThreshold := flag.Int("tier-threshold", 0, "calls before a hot signature is promoted (0 = default)")
 	sparseThreshold := flag.Float64("sparse-threshold", -1, "density above which sparse operator results densify (0..1, -1 = default 0.5)")
 	logLevel := flag.String("log-level", "info", "structured log threshold: debug|info|warn|error (JSON lines on stderr; debug adds per-request and per-eval records)")
+	nodeID := flag.String("node-id", "", "cluster node name (required with -peers; stamped on /readyz and replicated entries)")
+	peers := flag.String("peers", "", "comma-separated peers (id=http://host:port,...) to replicate compiled entries to; may include this node, which is skipped")
+	advertise := flag.String("advertise", "", "this node's own base URL, filtered out of -peers (in addition to its -node-id entry)")
+	antiEntropy := flag.Duration("anti-entropy", 0, "peer digest reconciliation period (0 = default 5s)")
 	flag.Parse()
 
 	var level slog.Level
@@ -76,6 +88,19 @@ func main() {
 	}
 	if *repoPath != "" && *isolated {
 		fmt.Fprintln(os.Stderr, "majicd: -repo-path requires the shared repository (drop -isolated)")
+		os.Exit(2)
+	}
+	if *peers != "" && *isolated {
+		fmt.Fprintln(os.Stderr, "majicd: -peers requires the shared repository (drop -isolated)")
+		os.Exit(2)
+	}
+	if *peers != "" && *nodeID == "" {
+		fmt.Fprintln(os.Stderr, "majicd: -peers requires -node-id")
+		os.Exit(2)
+	}
+	peerNodes, err := parsePeers(*peers, *nodeID, *advertise)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "majicd: -peers: %v\n", err)
 		os.Exit(2)
 	}
 	if *threads > 0 {
@@ -106,7 +131,21 @@ func main() {
 		IdleTTL:            *idleTTL,
 		MaxDeadline:        *deadline,
 		Logger:             logger,
+		NodeID:             *nodeID,
 	})
+	var repl *cluster.Replicator
+	if len(peerNodes) > 0 {
+		repl = cluster.NewReplicator(cluster.ReplicatorOptions{
+			NodeID:   *nodeID,
+			Lib:      srv.Library(),
+			Peers:    peerNodes,
+			Interval: *antiEntropy,
+			Logger:   logger,
+		})
+		srv.SetClusterMetrics(func() any { return repl.Stats() })
+		srv.RegisterClusterTelemetry("cluster", repl.CollectTelemetry)
+		repl.Start()
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
@@ -152,14 +191,48 @@ func main() {
 		logger.Info("draining", slog.String("signal", sig.String()))
 	}
 
+	// Flip /readyz to 503 before the listener stops: a cluster gateway
+	// probing readiness fails new placements over to peers while this
+	// node is still answering its in-flight evals.
+	srv.StartDraining()
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		logger.Warn("http shutdown", slog.String("error", err.Error()))
+	}
+	if repl != nil {
+		repl.Close()
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Error("drain incomplete", slog.String("error", err.Error()))
 		os.Exit(1)
 	}
 	logger.Info("stopped")
+}
+
+// parsePeers parses -peers ("id=url,id=url"), dropping this node's own
+// entry (matched by node ID or by the -advertise URL).
+func parsePeers(spec, selfID, selfAddr string) ([]cluster.Node, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []cluster.Node
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad peer %q (want id=http://host:port)", part)
+		}
+		if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+			return nil, fmt.Errorf("peer %q: address must be a base URL", part)
+		}
+		if id == selfID || (selfAddr != "" && strings.TrimSuffix(addr, "/") == strings.TrimSuffix(selfAddr, "/")) {
+			continue
+		}
+		out = append(out, cluster.Node{ID: id, Addr: strings.TrimSuffix(addr, "/")})
+	}
+	return out, nil
 }

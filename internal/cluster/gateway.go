@@ -1,0 +1,616 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// Gateway fronts a majicd fleet with the daemon's own session API:
+// clients speak the same create/eval/workspace protocol to one address,
+// and the gateway places each session on a ring node and proxies its
+// requests there. Placement is consistent-hash on the session's routing
+// key, skipping nodes the health checker marks not-ready.
+//
+// Failover: the gateway keeps a bounded replay log per session — every
+// workspace binding and every function-defining eval. When the
+// session's node dies or starts draining, the gateway recreates the
+// session on the next node in the ring's failover order, replays the
+// log, and retries the interrupted request; the client sees latency,
+// not an error. Evals whose results live only in workspace variables
+// assigned by *non-logged* evals are the documented limit: the replayed
+// session restores definitions and explicit bindings, not arbitrary
+// computed state.
+type Gateway struct {
+	ring   *Ring
+	health *Health
+	client *http.Client
+	logger *slog.Logger
+
+	registry *telemetry.Registry
+
+	mu       sync.Mutex
+	sessions map[string]*gwSession
+	nextID   uint64
+	rng      *rand.Rand
+
+	stats gatewayStats
+}
+
+type gatewayStats struct {
+	sessionsCreated atomic.Uint64
+	placements      atomic.Uint64 // backend sessions created (initial + failover)
+	failovers       atomic.Uint64 // sessions moved to another node
+	proxied         atomic.Uint64 // requests forwarded
+	retries         atomic.Uint64 // forward attempts beyond the first
+	errors          atomic.Uint64 // requests that exhausted failover
+	replayedOps     atomic.Uint64 // replay-log operations re-applied
+}
+
+// GatewayStats is the JSON view of the gateway's own counters.
+type GatewayStats struct {
+	SessionsActive  int    `json:"sessions_active"`
+	SessionsCreated uint64 `json:"sessions_created"`
+	Placements      uint64 `json:"placements"`
+	Failovers       uint64 `json:"failovers"`
+	Proxied         uint64 `json:"proxied"`
+	Retries         uint64 `json:"retries"`
+	Errors          uint64 `json:"errors"`
+	ReplayedOps     uint64 `json:"replayed_ops"`
+}
+
+// replayOp is one logged operation: a workspace PUT or a defining eval.
+type replayOp struct {
+	method string
+	suffix string // path under /sessions/{backend-id}
+	body   []byte
+}
+
+// maxReplayOps bounds a session's replay log; beyond it the oldest
+// non-binding ops are dropped (a runaway definer shouldn't grow gateway
+// memory without bound).
+const maxReplayOps = 256
+
+type gwSession struct {
+	id  string
+	key string // routing key (defaults to id)
+
+	mu        sync.Mutex
+	node      Node
+	backendID string // empty = needs (re)placement
+	log       []replayOp
+	moved     int // failovers survived (serialized in create/metrics)
+}
+
+// GatewayOptions configure NewGateway.
+type GatewayOptions struct {
+	Ring   *Ring
+	Health *Health
+	// Client is the proxy HTTP client (default: 2-minute timeout —
+	// evals can legitimately run long).
+	Client *http.Client
+	Logger *slog.Logger
+}
+
+// NewGateway builds the gateway (not yet listening; mount Handler).
+func NewGateway(opts GatewayOptions) *Gateway {
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	g := &Gateway{
+		ring:     opts.Ring,
+		health:   opts.Health,
+		client:   client,
+		logger:   logger,
+		registry: telemetry.NewRegistry(),
+		sessions: make(map[string]*gwSession),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	g.registry.RegisterFunc("gateway", g.collectTelemetry)
+	return g
+}
+
+// Handler returns the gateway's HTTP handler (the daemon session API
+// plus the fleet views).
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", g.handleCreate)
+	mux.HandleFunc("DELETE /sessions/{id}", g.handleDestroy)
+	mux.HandleFunc("POST /sessions/{id}/eval", g.handleEval)
+	mux.HandleFunc("GET /sessions/{id}/workspace/{name}", g.handleWorkspaceGet)
+	mux.HandleFunc("PUT /sessions/{id}/workspace/{name}", g.handleWorkspaceSet)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /metrics.prom", g.handleMetricsProm)
+	mux.HandleFunc("GET /cluster/nodes", g.handleNodes)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		// The gateway is ready while any node is: with the whole fleet
+		// down it can only error, so say so to its own load balancer.
+		for _, st := range g.health.Snapshot() {
+			if st.Ready {
+				writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+				return
+			}
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "no ready nodes"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+// --- session placement -------------------------------------------------------
+
+// place creates a backend session for s on the first ready node in its
+// ring order and replays the session's log there. Caller holds s.mu.
+func (g *Gateway) place(s *gwSession) error {
+	var lastErr error = fmt.Errorf("no ready nodes")
+	for _, n := range g.ring.Lookup(s.key) {
+		if !g.health.Ready(n.ID) {
+			continue
+		}
+		status, raw, err := g.do("POST", n.Addr+"/sessions", nil)
+		if err != nil {
+			g.health.SetReady(n.ID, false, "create failed: "+err.Error())
+			lastErr = err
+			continue
+		}
+		if status != http.StatusCreated {
+			// Draining or saturated: try the next ring node.
+			lastErr = fmt.Errorf("create on %s: HTTP %d: %s", n.ID, status, raw)
+			continue
+		}
+		var v struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &v); err != nil || v.ID == "" {
+			lastErr = fmt.Errorf("create on %s: bad response %q", n.ID, raw)
+			continue
+		}
+		if err := g.replay(n, v.ID, s.log); err != nil {
+			// Half-replayed state must not serve: abandon the backend
+			// session and move on down the ring.
+			g.do("DELETE", n.Addr+"/sessions/"+v.ID, nil)
+			lastErr = fmt.Errorf("replay on %s: %w", n.ID, err)
+			continue
+		}
+		s.node, s.backendID = n, v.ID
+		g.stats.placements.Add(1)
+		return nil
+	}
+	return lastErr
+}
+
+func (g *Gateway) replay(n Node, backendID string, log []replayOp) error {
+	for _, op := range log {
+		status, raw, err := g.do(op.method, n.Addr+"/sessions/"+backendID+op.suffix, op.body)
+		if err != nil {
+			return err
+		}
+		if status >= 400 {
+			return fmt.Errorf("%s %s: HTTP %d: %s", op.method, op.suffix, status, raw)
+		}
+		g.stats.replayedOps.Add(1)
+	}
+	return nil
+}
+
+// do issues one proxied request and buffers the response.
+func (g *Gateway) do(method, url string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, raw, nil
+}
+
+// forward proxies one session-scoped request with failover: a transport
+// error, a draining node, or a backend that lost the session moves the
+// session to the next ring node (replaying its log) and retries. Any
+// other status — including program errors and timeouts — is the
+// backend's answer and passes through untouched.
+func (g *Gateway) forward(s *gwSession, method, suffix string, body []byte) (int, []byte, error) {
+	g.stats.proxied.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	attempts := len(g.ring.Nodes()) + 1
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			g.stats.retries.Add(1)
+			g.backoff(attempt)
+		}
+		if s.backendID == "" {
+			if err := g.place(s); err != nil {
+				lastErr = err
+				continue
+			}
+			// Any placement inside forward is a failover: the initial
+			// placement happened in handleCreate, so reaching here means
+			// the session lost its backend.
+			g.stats.failovers.Add(1)
+			s.moved++
+			g.logger.Info("session failed over",
+				slog.String("session", s.id), slog.String("to", s.node.ID))
+		}
+		status, raw, err := g.do(method, s.node.Addr+"/sessions/"+s.backendID+suffix, body)
+		if err != nil {
+			g.health.SetReady(s.node.ID, false, "proxy error: "+err.Error())
+			s.backendID = ""
+			lastErr = err
+			continue
+		}
+		if failoverStatus(status, raw) {
+			s.backendID = ""
+			lastErr = fmt.Errorf("node %s: HTTP %d: %s", s.node.ID, status, raw)
+			continue
+		}
+		return status, raw, nil
+	}
+	g.stats.errors.Add(1)
+	return 0, nil, fmt.Errorf("all nodes failed: %w", lastErr)
+}
+
+// failoverStatus decides whether a backend answer means "move the
+// session" rather than "relay to the client": 404 (the backend lost the
+// session — it isn't the client's to lose, the gateway owns backend
+// ids) and 503 with kind "draining" (the node is shutting down). A 503
+// kind "saturated" stays with the node — admission pushback is an
+// answer, and hopping shards on load would defeat placement.
+func failoverStatus(status int, raw []byte) bool {
+	if status == http.StatusNotFound {
+		return true
+	}
+	if status != http.StatusServiceUnavailable {
+		return false
+	}
+	var eb errorBody
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		return true // a 503 with no parseable kind: assume the node is going away
+	}
+	return eb.Kind == "draining"
+}
+
+func (g *Gateway) backoff(attempt int) {
+	g.mu.Lock()
+	jitter := time.Duration(g.rng.Int63n(int64(20 * time.Millisecond)))
+	g.mu.Unlock()
+	time.Sleep(time.Duration(attempt)*25*time.Millisecond + jitter)
+}
+
+// --- handlers ----------------------------------------------------------------
+
+type createRequest struct {
+	// Key overrides the routing key — sessions created with the same key
+	// land on the same node, so a client can co-locate a working set.
+	Key string `json:"key,omitempty"`
+}
+
+type createResponse struct {
+	ID string `json:"id"`
+	// Node names the backend node the session was placed on (smoke tests
+	// and operators use it; clients can ignore it).
+	Node string `json:"node"`
+}
+
+func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	body, _ := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if len(body) > 0 {
+		json.Unmarshal(body, &req)
+	}
+	g.mu.Lock()
+	g.nextID++
+	id := fmt.Sprintf("g%d", g.nextID)
+	g.mu.Unlock()
+	key := req.Key
+	if key == "" {
+		key = id
+	}
+	s := &gwSession{id: id, key: key}
+	s.mu.Lock()
+	err := g.place(s)
+	node := s.node.ID
+	s.mu.Unlock()
+	if err != nil {
+		g.stats.errors.Add(1)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "placement failed: " + err.Error(), Kind: "no_nodes"})
+		return
+	}
+	g.mu.Lock()
+	g.sessions[id] = s
+	g.mu.Unlock()
+	g.stats.sessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, createResponse{ID: id, Node: node})
+}
+
+func (g *Gateway) lookup(id string) *gwSession {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sessions[id]
+}
+
+func (g *Gateway) handleDestroy(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	g.mu.Lock()
+	s := g.sessions[id]
+	delete(g.sessions, id)
+	g.mu.Unlock()
+	if s == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		return
+	}
+	s.mu.Lock()
+	node, backendID := s.node, s.backendID
+	s.backendID = ""
+	s.mu.Unlock()
+	if backendID != "" {
+		g.do("DELETE", node.Addr+"/sessions/"+backendID, nil)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Gateway) handleEval(w http.ResponseWriter, r *http.Request) {
+	s := g.lookup(r.PathValue("id"))
+	if s == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	status, raw, err := g.forward(s, "POST", "/eval", body)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error(), Kind: "no_nodes"})
+		return
+	}
+	if status < 400 && definesFunction(body) {
+		s.mu.Lock()
+		s.appendLog(replayOp{method: "POST", suffix: "/eval", body: body})
+		s.mu.Unlock()
+	}
+	relay(w, status, raw)
+}
+
+// definesFunction reports whether an eval body's source (re)defines a
+// function — the ops worth replaying onto a failover node.
+func definesFunction(body []byte) bool {
+	var req struct {
+		Src string `json:"src"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return false
+	}
+	return strings.HasPrefix(strings.TrimSpace(req.Src), "function")
+}
+
+// appendLog adds an op under s.mu, evicting the oldest eval op (never a
+// workspace binding) once the log exceeds maxReplayOps.
+func (s *gwSession) appendLog(op replayOp) {
+	s.log = append(s.log, op)
+	if len(s.log) <= maxReplayOps {
+		return
+	}
+	for i, old := range s.log {
+		if old.method == "POST" {
+			s.log = append(s.log[:i:i], s.log[i+1:]...)
+			return
+		}
+	}
+	s.log = s.log[1:]
+}
+
+func (g *Gateway) handleWorkspaceGet(w http.ResponseWriter, r *http.Request) {
+	s := g.lookup(r.PathValue("id"))
+	if s == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		return
+	}
+	status, raw, err := g.forward(s, "GET", "/workspace/"+r.PathValue("name"), nil)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error(), Kind: "no_nodes"})
+		return
+	}
+	relay(w, status, raw)
+}
+
+func (g *Gateway) handleWorkspaceSet(w http.ResponseWriter, r *http.Request) {
+	s := g.lookup(r.PathValue("id"))
+	if s == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	suffix := "/workspace/" + r.PathValue("name")
+	status, raw, err := g.forward(s, "PUT", suffix, body)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, errorBody{Error: err.Error(), Kind: "no_nodes"})
+		return
+	}
+	if status < 400 {
+		s.mu.Lock()
+		// One binding per variable: a rebound arg replaces its log slot
+		// so replay applies the latest value once.
+		replaced := false
+		for i, op := range s.log {
+			if op.method == "PUT" && op.suffix == suffix {
+				s.log[i].body = body
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			s.appendLog(replayOp{method: "PUT", suffix: suffix, body: body})
+		}
+		s.mu.Unlock()
+	}
+	relay(w, status, raw)
+}
+
+func relay(w http.ResponseWriter, status int, raw []byte) {
+	if len(raw) > 0 {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	w.WriteHeader(status)
+	w.Write(raw)
+}
+
+// --- fleet views -------------------------------------------------------------
+
+// NodeMetrics is one node's slice of the aggregated /metrics payload.
+type NodeMetrics struct {
+	Node    Node                    `json:"node"`
+	Ready   bool                    `json:"ready"`
+	Error   string                  `json:"error,omitempty"`
+	Metrics *server.MetricsSnapshot `json:"metrics,omitempty"`
+}
+
+// FleetMetrics is the gateway's /metrics payload: its own counters,
+// each node's full snapshot, and fleet-wide repository sums — the
+// "compiled roughly once fleet-wide" number is FleetInserts.
+type FleetMetrics struct {
+	Gateway GatewayStats  `json:"gateway"`
+	Nodes   []NodeMetrics `json:"nodes"`
+	Fleet   struct {
+		Evals       uint64 `json:"evals"`
+		RepoLookups int    `json:"repo_lookups"`
+		RepoHits    int    `json:"repo_hits"`
+		RepoInserts int    `json:"repo_inserts"`
+		Replicated  int    `json:"repo_replicated"`
+	} `json:"fleet"`
+}
+
+// Metrics gathers the fleet view (also served at /metrics).
+func (g *Gateway) Metrics() FleetMetrics {
+	var fm FleetMetrics
+	fm.Gateway = g.Stats()
+	for _, st := range g.health.Snapshot() {
+		nm := NodeMetrics{Node: st.Node, Ready: st.Ready}
+		status, raw, err := g.do("GET", st.Node.Addr+"/metrics", nil)
+		switch {
+		case err != nil:
+			nm.Error = err.Error()
+		case status != http.StatusOK:
+			nm.Error = fmt.Sprintf("HTTP %d", status)
+		default:
+			var ms server.MetricsSnapshot
+			if err := json.Unmarshal(raw, &ms); err != nil {
+				nm.Error = "bad metrics payload: " + err.Error()
+			} else {
+				nm.Metrics = &ms
+				fm.Fleet.Evals += ms.Evals.Total
+				fm.Fleet.RepoLookups += ms.Repo.Lookups
+				fm.Fleet.RepoHits += ms.Repo.Hits
+				fm.Fleet.RepoInserts += ms.Repo.Inserts
+				fm.Fleet.Replicated += ms.Repo.Replicated
+			}
+		}
+		fm.Nodes = append(fm.Nodes, nm)
+	}
+	return fm
+}
+
+// Stats returns the gateway's own counters.
+func (g *Gateway) Stats() GatewayStats {
+	g.mu.Lock()
+	active := len(g.sessions)
+	g.mu.Unlock()
+	return GatewayStats{
+		SessionsActive:  active,
+		SessionsCreated: g.stats.sessionsCreated.Load(),
+		Placements:      g.stats.placements.Load(),
+		Failovers:       g.stats.failovers.Load(),
+		Proxied:         g.stats.proxied.Load(),
+		Retries:         g.stats.retries.Load(),
+		Errors:          g.stats.errors.Load(),
+		ReplayedOps:     g.stats.replayedOps.Load(),
+	}
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Metrics())
+}
+
+func (g *Gateway) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := g.registry.WritePrometheus(w); err != nil {
+		g.logger.Warn("prometheus write failed", slog.String("error", err.Error()))
+	}
+}
+
+func (g *Gateway) handleNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vnodes": g.ring.Vnodes(),
+		"nodes":  g.health.Snapshot(),
+	})
+}
+
+func (g *Gateway) collectTelemetry(emit func(telemetry.Sample)) {
+	st := g.Stats()
+	counter := telemetry.EmitCounter
+	gauge := telemetry.EmitGauge
+	gauge(emit, "majic_gate_sessions_active", "Live gateway sessions.", float64(st.SessionsActive))
+	counter(emit, "majic_gate_sessions_created_total", "Gateway sessions ever created.", float64(st.SessionsCreated))
+	counter(emit, "majic_gate_placements_total", "Backend sessions created (initial + failover).", float64(st.Placements))
+	counter(emit, "majic_gate_failovers_total", "Sessions moved to another node.", float64(st.Failovers))
+	counter(emit, "majic_gate_proxied_total", "Requests forwarded to the fleet.", float64(st.Proxied))
+	counter(emit, "majic_gate_retries_total", "Forward attempts beyond the first.", float64(st.Retries))
+	counter(emit, "majic_gate_errors_total", "Requests that exhausted failover.", float64(st.Errors))
+	counter(emit, "majic_gate_replayed_ops_total", "Replay-log operations re-applied on failover.", float64(st.ReplayedOps))
+	ready := 0
+	for _, n := range g.health.Snapshot() {
+		if n.Ready {
+			ready++
+		}
+	}
+	gauge(emit, "majic_gate_nodes_ready", "Fleet nodes currently passing readiness.", float64(ready))
+}

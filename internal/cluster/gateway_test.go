@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// gwTestNode is one in-process majicd behind the gateway under test.
+type gwTestNode struct {
+	srv *server.Server
+	hs  *httptest.Server
+	n   Node
+}
+
+func startNodes(t *testing.T, ids ...string) []gwTestNode {
+	t.Helper()
+	out := make([]gwTestNode, len(ids))
+	for i, id := range ids {
+		srv := server.New(server.Options{
+			Engine: core.Options{Tier: core.TierJIT},
+			NodeID: id,
+		})
+		hs := httptest.NewServer(srv.Handler())
+		t.Cleanup(hs.Close)
+		out[i] = gwTestNode{srv: srv, hs: hs, n: Node{ID: id, Addr: hs.URL}}
+	}
+	return out
+}
+
+func startGateway(t *testing.T, fleet []gwTestNode) (*Gateway, string) {
+	t.Helper()
+	nodes := make([]Node, len(fleet))
+	for i, f := range fleet {
+		nodes[i] = f.n
+	}
+	ring, err := NewRing(0, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Health stays unstarted: nodes begin optimistically ready and the
+	// gateway's passive failure detection drives the tests.
+	gw := NewGateway(GatewayOptions{
+		Ring:   ring,
+		Health: NewHealth(nodes, time.Hour, nil),
+		Client: &http.Client{Timeout: 10 * time.Second},
+	})
+	hs := httptest.NewServer(gw.Handler())
+	t.Cleanup(hs.Close)
+	return gw, hs.URL
+}
+
+func gwDo(t *testing.T, method, url string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func gwCreate(t *testing.T, base string) (id, node string) {
+	t.Helper()
+	code, raw := gwDo(t, "POST", base+"/sessions", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, raw)
+	}
+	var cr createResponse
+	if err := json.Unmarshal(raw, &cr); err != nil || cr.ID == "" || cr.Node == "" {
+		t.Fatalf("create body: %s (%v)", raw, err)
+	}
+	return cr.ID, cr.Node
+}
+
+func gwEval(t *testing.T, base, id, src string) (int, string) {
+	t.Helper()
+	code, raw := gwDo(t, "POST", base+"/sessions/"+id+"/eval", map[string]string{"src": src})
+	var v struct {
+		Output string `json:"output"`
+	}
+	json.Unmarshal(raw, &v)
+	return code, v.Output
+}
+
+// TestGatewayProxiesSessionAPI: the full session API round-trips
+// through the gateway — create reports the placed node, eval and
+// workspace land on the same backend.
+func TestGatewayProxiesSessionAPI(t *testing.T) {
+	fleet := startNodes(t, "node-a", "node-b", "node-c")
+	_, base := startGateway(t, fleet)
+
+	id, node := gwCreate(t, base)
+	found := false
+	for _, f := range fleet {
+		if f.n.ID == node {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("create reported unknown node %q", node)
+	}
+
+	if code, _ := gwEval(t, base, id, "function y = add2(x)\ny = x + 2;\n"); code != http.StatusOK {
+		t.Fatalf("define: %d", code)
+	}
+	wv := map[string]any{"rows": 1, "cols": 1, "kind": "double", "re": []float64{5}}
+	if code, raw := gwDo(t, "PUT", base+"/sessions/"+id+"/workspace/v", wv); code >= 300 {
+		t.Fatalf("workspace put: %d %s", code, raw)
+	}
+	if code, out := gwEval(t, base, id, "y = add2(v)"); code != http.StatusOK || out == "" {
+		t.Fatalf("eval: %d %q", code, out)
+	}
+	code, raw := gwDo(t, "GET", base+"/sessions/"+id+"/workspace/y", nil)
+	var got struct {
+		Re []float64 `json:"re"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil || code != http.StatusOK || len(got.Re) != 1 || got.Re[0] != 7 {
+		t.Fatalf("workspace get: %d %s (%v)", code, raw, err)
+	}
+	if code, _ := gwDo(t, "DELETE", base+"/sessions/"+id, nil); code != http.StatusNoContent {
+		t.Fatalf("destroy: %d", code)
+	}
+}
+
+// TestGatewayDrainAndFailover is the drain contract end to end. While
+// a node drains, its in-flight sessions are still served there (no
+// pointless hop) but *new* placements skip it — place() sees the 503
+// "draining" create and walks on down the ring. Once the node is gone
+// for real, the next eval transparently replays the session's
+// definitions and workspace onto the failover node: the client sees
+// 200s throughout and never a 5xx.
+func TestGatewayDrainAndFailover(t *testing.T) {
+	fleet := startNodes(t, "node-a", "node-b", "node-c")
+	gw, base := startGateway(t, fleet)
+
+	id, node := gwCreate(t, base)
+	if code, _ := gwEval(t, base, id, "function y = add2(x)\ny = x + 2;\n"); code != http.StatusOK {
+		t.Fatalf("define: %d", code)
+	}
+	wv := map[string]any{"rows": 1, "cols": 1, "kind": "double", "re": []float64{5}}
+	if code, _ := gwDo(t, "PUT", base+"/sessions/"+id+"/workspace/v", wv); code >= 300 {
+		t.Fatalf("workspace put: %d", code)
+	}
+
+	var drained gwTestNode
+	for _, f := range fleet {
+		if f.n.ID == node {
+			drained = f
+			f.srv.StartDraining()
+		}
+	}
+
+	// In-flight session: still answered by the draining node, no hop.
+	if code, out := gwEval(t, base, id, "y = add2(v)"); code != http.StatusOK || out == "" {
+		t.Fatalf("eval during drain: %d %q", code, out)
+	}
+	if st := gw.Stats(); st.Failovers != 0 {
+		t.Fatalf("draining a node must not move its live sessions: %+v", st)
+	}
+
+	// New placements: find a key the draining node owns and create with
+	// it — the session must land elsewhere.
+	nodes := make([]Node, len(fleet))
+	for i, f := range fleet {
+		nodes[i] = f.n
+	}
+	ring, err := NewRing(0, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placedAround := false
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("drainkey-%d", i)
+		if ring.Owner(key).ID != node {
+			continue
+		}
+		code, raw := gwDo(t, "POST", base+"/sessions", map[string]string{"key": key})
+		if code != http.StatusCreated {
+			t.Fatalf("create during drain: %d %s", code, raw)
+		}
+		var cr createResponse
+		if err := json.Unmarshal(raw, &cr); err != nil {
+			t.Fatal(err)
+		}
+		if cr.Node == node {
+			t.Fatalf("new session placed on the draining node: %s", raw)
+		}
+		placedAround = true
+		break
+	}
+	if !placedAround {
+		t.Fatal("no key owned by the draining node in 1000 tries")
+	}
+
+	// The node finishes shutting down: the session's next eval fails
+	// over with a full replay.
+	drained.hs.CloseClientConnections()
+	drained.hs.Close()
+	if code, raw := gwDo(t, "POST", base+"/sessions/"+id+"/eval", map[string]string{"src": "y = add2(v)"}); code != http.StatusOK {
+		t.Fatalf("eval after drain completes must fail over, got %d %s", code, raw)
+	}
+	st := gw.Stats()
+	if st.Failovers == 0 || st.ReplayedOps < 2 {
+		t.Fatalf("failover not recorded: %+v", st)
+	}
+	// The replayed workspace binding answers from the new backend.
+	gcode, graw := gwDo(t, "GET", base+"/sessions/"+id+"/workspace/y", nil)
+	var got struct {
+		Re []float64 `json:"re"`
+	}
+	if err := json.Unmarshal(graw, &got); err != nil || gcode != http.StatusOK || len(got.Re) != 1 || got.Re[0] != 7 {
+		t.Fatalf("workspace after failover: %d %s (%v)", gcode, graw, err)
+	}
+}
+
+// TestGatewayFailsOverDeadNode: the backend vanishes mid-session
+// (listener closed, no drain) — the transport error marks it not-ready
+// and the session moves. No 5xx reaches the client.
+func TestGatewayFailsOverDeadNode(t *testing.T) {
+	fleet := startNodes(t, "node-a", "node-b", "node-c")
+	gw, base := startGateway(t, fleet)
+
+	id, node := gwCreate(t, base)
+	if code, _ := gwEval(t, base, id, "function y = add2(x)\ny = x + 2;\n"); code != http.StatusOK {
+		t.Fatalf("define: %d", code)
+	}
+	for _, f := range fleet {
+		if f.n.ID == node {
+			f.hs.CloseClientConnections()
+			f.hs.Close()
+		}
+	}
+	if code, raw := gwDo(t, "POST", base+"/sessions/"+id+"/eval", map[string]string{"src": "y = add2(1)"}); code != http.StatusOK {
+		t.Fatalf("eval after node death must fail over, got %d %s", code, raw)
+	}
+	if st := gw.Stats(); st.Failovers == 0 {
+		t.Fatalf("failover not recorded: %+v", st)
+	}
+	// The dead node is remembered as not-ready for the next placement.
+	ready := 0
+	for _, st := range gw.health.Snapshot() {
+		if st.Ready {
+			ready++
+		}
+	}
+	if ready != 2 {
+		t.Fatalf("dead node still counted ready: %+v", gw.health.Snapshot())
+	}
+}
+
+// TestGatewaySaturatedIsNotFailover: admission pushback (503 kind
+// "saturated") is the backend's answer and must reach the client
+// unchanged rather than bouncing the session around the ring.
+func TestGatewaySaturatedIsNotFailover(t *testing.T) {
+	if !failoverStatus(http.StatusServiceUnavailable, []byte(`{"error":"x","kind":"draining"}`)) {
+		t.Fatal("draining 503 must trigger failover")
+	}
+	if failoverStatus(http.StatusServiceUnavailable, []byte(`{"error":"x","kind":"saturated"}`)) {
+		t.Fatal("saturated 503 must NOT trigger failover")
+	}
+	if !failoverStatus(http.StatusNotFound, nil) {
+		t.Fatal("a lost backend session must trigger failover")
+	}
+	if failoverStatus(http.StatusUnprocessableEntity, nil) {
+		t.Fatal("program errors are answers, not failovers")
+	}
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health tracks per-node readiness by polling each node's /readyz. The
+// gateway consults it when placing sessions (skip not-ready nodes) and
+// updates it passively when a proxied request fails (a dead node is
+// marked not-ready immediately instead of waiting out the probe
+// interval). Nodes start optimistically ready so a gateway booted
+// alongside its fleet doesn't refuse the first requests of the race.
+type Health struct {
+	nodes    []Node
+	interval time.Duration
+	client   *http.Client
+
+	mu    sync.Mutex
+	ready map[string]bool
+	last  map[string]string // last probe outcome per node, for /cluster/nodes
+
+	stop chan struct{}
+	done chan struct{}
+	rng  *rand.Rand
+}
+
+// DefaultHealthInterval is the probe period when none is configured.
+const DefaultHealthInterval = 2 * time.Second
+
+// NewHealth builds a checker over the fleet (interval <= 0 selects
+// DefaultHealthInterval). Call Start to begin probing; until then the
+// checker is a plain table driven by SetReady.
+func NewHealth(nodes []Node, interval time.Duration, client *http.Client) *Health {
+	if interval <= 0 {
+		interval = DefaultHealthInterval
+	}
+	if client == nil {
+		client = &http.Client{Timeout: interval}
+	}
+	h := &Health{
+		nodes:    append([]Node(nil), nodes...),
+		interval: interval,
+		client:   client,
+		ready:    make(map[string]bool, len(nodes)),
+		last:     make(map[string]string, len(nodes)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	for _, n := range nodes {
+		h.ready[n.ID] = true
+		h.last[n.ID] = "unprobed"
+	}
+	return h
+}
+
+// Start launches the probe loop. The first sweep runs immediately;
+// subsequent sweeps are jittered ±25% around the interval so a fleet of
+// gateways doesn't probe in lockstep.
+func (h *Health) Start() {
+	go func() {
+		defer close(h.done)
+		for {
+			h.sweep()
+			jitter := time.Duration(h.jitterFrac() * float64(h.interval))
+			select {
+			case <-h.stop:
+				return
+			case <-time.After(jitter):
+			}
+		}
+	}()
+}
+
+func (h *Health) jitterFrac() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return 0.75 + 0.5*h.rng.Float64()
+}
+
+// Stop halts the probe loop (idempotent-unsafe: call once).
+func (h *Health) Stop() {
+	close(h.stop)
+	<-h.done
+}
+
+func (h *Health) sweep() {
+	for _, n := range h.nodes {
+		ready, detail := h.probe(n)
+		h.mu.Lock()
+		h.ready[n.ID] = ready
+		h.last[n.ID] = detail
+		h.mu.Unlock()
+	}
+}
+
+func (h *Health) probe(n Node) (bool, string) {
+	resp, err := h.client.Get(n.Addr + "/readyz")
+	if err != nil {
+		return false, "unreachable: " + err.Error()
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Sprintf("not ready: HTTP %d", resp.StatusCode)
+	}
+	return true, "ready"
+}
+
+// Ready reports the last known readiness of a node.
+func (h *Health) Ready(id string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ready[id]
+}
+
+// SetReady overrides a node's state — the gateway's passive failure
+// detection (a refused connection means down now, not at the next
+// probe). The next probe sweep re-evaluates honestly, so a recovered
+// node comes back on its own.
+func (h *Health) SetReady(id string, ready bool, why string) {
+	h.mu.Lock()
+	h.ready[id] = ready
+	h.last[id] = why
+	h.mu.Unlock()
+}
+
+// NodeStatus is one row of the gateway's fleet view.
+type NodeStatus struct {
+	Node   Node   `json:"node"`
+	Ready  bool   `json:"ready"`
+	Detail string `json:"detail"`
+}
+
+// Snapshot returns the fleet view, in membership order.
+func (h *Health) Snapshot() []NodeStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]NodeStatus, 0, len(h.nodes))
+	for _, n := range h.nodes {
+		out = append(out, NodeStatus{Node: n, Ready: h.ready[n.ID], Detail: h.last[n.ID]})
+	}
+	return out
+}

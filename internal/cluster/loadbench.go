@@ -1,0 +1,550 @@
+// Cluster benchmark: the majic-bench -exp=cluster experiment. It boots
+// an in-process fleet of N majicd nodes behind a gateway and replays
+// fig4 programs through it twice — once with repository-entry
+// replication between the nodes (the replicated arm) and once with each
+// node compiling for itself (the isolated-fleet arm, the control). The
+// number being measured is fleet-wide JIT compiles: with replication, a
+// unique (function, widened signature) should be compiled roughly once
+// across the whole fleet instead of once per node.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mat"
+	"repro/internal/server"
+)
+
+// BenchConfig drives the cluster experiment.
+type BenchConfig struct {
+	Size bench.Size
+	// Nodes is the fleet size (default 3).
+	Nodes int
+	// Clients × SessionsPerClient sessions replay CallsPerSession calls
+	// each through the gateway (defaults 6 × 2 × 10).
+	Clients           int
+	SessionsPerClient int
+	CallsPerSession   int
+	// Benchmarks selects the replayed programs (default
+	// bench.ConcurrentSet).
+	Benchmarks []string
+	// Vnodes overrides the ring's virtual-node count (0 = default).
+	Vnodes int
+	// ConvergeTimeout bounds the replicated arm's wait for every node's
+	// digest to hold every primed entry (default 30s).
+	ConvergeTimeout time.Duration
+	Out             io.Writer
+
+	Async   bool
+	Workers int
+	Threads int
+}
+
+func (c BenchConfig) defaults() BenchConfig {
+	if c.Nodes <= 0 {
+		c.Nodes = 3
+	}
+	if c.Clients <= 0 {
+		c.Clients = 6
+	}
+	if c.SessionsPerClient <= 0 {
+		c.SessionsPerClient = 2
+	}
+	if c.CallsPerSession <= 0 {
+		c.CallsPerSession = 10
+	}
+	if len(c.Benchmarks) == 0 {
+		c.Benchmarks = bench.ConcurrentSet
+	}
+	if c.ConvergeTimeout <= 0 {
+		c.ConvergeTimeout = 30 * time.Second
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	return c
+}
+
+// NodeArmStats is one node's repository traffic within an arm.
+type NodeArmStats struct {
+	Node       string `json:"node"`
+	Inserts    int    `json:"inserts"`    // local JIT compiles published
+	Replicated int    `json:"replicated"` // entries applied from peers
+	Hits       int    `json:"hits"`
+	Lookups    int    `json:"lookups"`
+	Evals      uint64 `json:"evals"`
+}
+
+// BenchArm is one arm's aggregate result.
+type BenchArm struct {
+	Mode       string  `json:"mode"` // "replicated" | "isolated-fleet"
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	P50US      int64   `json:"p50_us"`
+	P95US      int64   `json:"p95_us"`
+	P99US      int64   `json:"p99_us"`
+	WallMS     int64   `json:"wall_ms"`
+	EvalsPerS  float64 `json:"evals_per_sec"`
+	ConvergeMS int64   `json:"converge_ms"` // replicated arm: priming → all digests complete
+	// Fleet-wide sums. FleetInserts is the headline: unique units
+	// compiled ≈ FleetInserts in the replicated arm vs ≈ Nodes × unique
+	// in the isolated fleet.
+	FleetInserts    int            `json:"fleet_inserts"`
+	FleetReplicated int            `json:"fleet_replicated"`
+	FleetHits       int            `json:"fleet_hits"`
+	FleetLookups    int            `json:"fleet_lookups"`
+	PerNode         []NodeArmStats `json:"per_node"`
+	Gateway         GatewayStats   `json:"gateway"`
+}
+
+// BenchReport is the BENCH_cluster.json payload.
+type BenchReport struct {
+	Nodes             int        `json:"nodes"`
+	Vnodes            int        `json:"vnodes"`
+	Clients           int        `json:"clients"`
+	SessionsPerClient int        `json:"sessions_per_client"`
+	CallsPerSession   int        `json:"calls_per_session"`
+	Size              string     `json:"size"`
+	Benchmarks        []string   `json:"benchmarks"`
+	UniquePrograms    int        `json:"unique_programs"`
+	Arms              []BenchArm `json:"arms"`
+}
+
+// fleetNode is one in-process daemon.
+type fleetNode struct {
+	node Node
+	srv  *server.Server
+	hs   *http.Server
+	repl *Replicator
+}
+
+func (c BenchConfig) startFleet(replicated bool) ([]*fleetNode, error) {
+	fleet := make([]*fleetNode, 0, c.Nodes)
+	for i := 0; i < c.Nodes; i++ {
+		id := fmt.Sprintf("node-%c", 'a'+i)
+		srv := server.New(server.Options{
+			Engine: core.Options{Tier: core.TierJIT, Seed: 1, Threads: c.Threads},
+			Library: core.LibraryOptions{
+				AsyncCompile:   c.Async,
+				CompileWorkers: c.Workers,
+			},
+			NodeID:      id,
+			MaxSessions: c.Clients*c.SessionsPerClient + 16,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stopFleet(fleet)
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		fleet = append(fleet, &fleetNode{
+			node: Node{ID: id, Addr: "http://" + ln.Addr().String()},
+			srv:  srv,
+			hs:   hs,
+		})
+	}
+	if replicated {
+		for i, fn := range fleet {
+			var peers []Node
+			for j, other := range fleet {
+				if j != i {
+					peers = append(peers, other.node)
+				}
+			}
+			fn.repl = NewReplicator(ReplicatorOptions{
+				NodeID:   fn.node.ID,
+				Lib:      fn.srv.Library(),
+				Peers:    peers,
+				Interval: 500 * time.Millisecond,
+			})
+			fn.repl.Start()
+		}
+	}
+	return fleet, nil
+}
+
+func stopFleet(fleet []*fleetNode) {
+	for _, fn := range fleet {
+		if fn.repl != nil {
+			fn.repl.Close()
+		}
+		fn.hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fn.srv.Shutdown(ctx)
+		cancel()
+	}
+}
+
+// benchClient speaks the gateway/daemon session protocol.
+type benchClient struct {
+	base string
+	c    *http.Client
+}
+
+func (bc *benchClient) do(method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, bc.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := bc.c.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %s %s: %w", method, path, err)
+		}
+	}
+	if resp.StatusCode >= 400 {
+		return resp.StatusCode, fmt.Errorf("%s %s: HTTP %d: %s", method, path, resp.StatusCode, raw)
+	}
+	return resp.StatusCode, nil
+}
+
+type wsValue struct {
+	Name string    `json:"name"`
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Kind string    `json:"kind"`
+	Re   []float64 `json:"re,omitempty"`
+	Im   []float64 `json:"im,omitempty"`
+	Text string    `json:"text,omitempty"`
+}
+
+// setupSession creates a gateway session, defines the program, and
+// binds its arguments; returns the session id.
+func (c BenchConfig) setupSession(bc *benchClient, b *bench.Benchmark) (string, error) {
+	var cr struct {
+		ID string `json:"id"`
+	}
+	if _, err := bc.do("POST", "/sessions", nil, &cr); err != nil {
+		return "", err
+	}
+	if err := c.evalIn(bc, cr.ID, b.Source(c.Size)); err != nil {
+		return "", fmt.Errorf("define %s: %w", b.Name, err)
+	}
+	for i, a := range b.Args(c.Size) {
+		wv := wsValue{
+			Name: fmt.Sprintf("arg%d", i+1),
+			Rows: a.Rows(), Cols: a.Cols(), Kind: a.Kind().String(),
+		}
+		if a.Kind() == mat.Char {
+			wv.Text = a.Text()
+		} else {
+			wv.Re = a.Re()
+			wv.Im = a.Im()
+		}
+		path := fmt.Sprintf("/sessions/%s/workspace/arg%d", cr.ID, i+1)
+		if _, err := bc.do("PUT", path, wv, nil); err != nil {
+			return "", fmt.Errorf("bind arg%d for %s: %w", i+1, b.Name, err)
+		}
+	}
+	return cr.ID, nil
+}
+
+func (c BenchConfig) evalIn(bc *benchClient, id, src string) error {
+	_, err := bc.do("POST", "/sessions/"+id+"/eval", map[string]string{"src": src}, nil)
+	return err
+}
+
+func callFor(b *bench.Benchmark, size bench.Size) string {
+	nargs := len(b.Args(size))
+	call := "y = " + b.Fn
+	if nargs > 0 {
+		call += "("
+		for k := 1; k <= nargs; k++ {
+			if k > 1 {
+				call += ", "
+			}
+			call += fmt.Sprintf("arg%d", k)
+		}
+		call += ")"
+	}
+	return call + ";"
+}
+
+// prime plays each unique program once through the gateway so the fleet
+// holds one compiled entry per (program, signature) somewhere, then (in
+// the replicated arm) waits until every node's digest carries an entry
+// for every primed function — the point where phase 2 should find only
+// warm repositories.
+func (c BenchConfig) prime(bc *benchClient, fleet []*fleetNode, replicated bool) (time.Duration, error) {
+	t0 := time.Now()
+	for _, name := range c.uniquePrograms() {
+		b := bench.ByName(name)
+		id, err := c.setupSession(bc, b)
+		if err != nil {
+			return 0, fmt.Errorf("prime %s: %w", name, err)
+		}
+		if err := c.evalIn(bc, id, callFor(b, c.Size)); err != nil {
+			return 0, fmt.Errorf("prime call %s: %w", name, err)
+		}
+		bc.do("DELETE", "/sessions/"+id, nil, nil)
+	}
+	if !replicated {
+		return time.Since(t0), nil
+	}
+	fns := make(map[string]bool)
+	for _, name := range c.uniquePrograms() {
+		fns[bench.ByName(name).Fn] = true
+	}
+	deadline := time.Now().Add(c.ConvergeTimeout)
+	for {
+		if fleetConverged(fleet, fns) {
+			return time.Since(t0), nil
+		}
+		if time.Now().After(deadline) {
+			return time.Since(t0), fmt.Errorf("replication did not converge within %s", c.ConvergeTimeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// fleetConverged reports whether every node holds at least one live
+// entry for every primed function.
+func fleetConverged(fleet []*fleetNode, fns map[string]bool) bool {
+	for _, fn := range fleet {
+		digest := fn.srv.Library().ExportDigest()
+		for name := range fns {
+			d, ok := digest[name]
+			if !ok || len(d.Entries) == 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (c BenchConfig) uniquePrograms() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, name := range c.Benchmarks {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// runArm boots a fleet + gateway, primes, replays the workload, and
+// collects per-node repository traffic.
+func (c BenchConfig) runArm(mode string, replicated bool) (BenchArm, error) {
+	arm := BenchArm{Mode: mode}
+	fleet, err := c.startFleet(replicated)
+	if err != nil {
+		return arm, err
+	}
+	defer stopFleet(fleet)
+
+	nodes := make([]Node, len(fleet))
+	for i, fn := range fleet {
+		nodes[i] = fn.node
+	}
+	ring, err := NewRing(c.Vnodes, nodes)
+	if err != nil {
+		return arm, err
+	}
+	health := NewHealth(nodes, time.Second, nil)
+	health.Start()
+	defer health.Stop()
+	gw := NewGateway(GatewayOptions{Ring: ring, Health: health})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return arm, err
+	}
+	ghs := &http.Server{Handler: gw.Handler()}
+	go ghs.Serve(ln)
+	defer ghs.Close()
+
+	bc := &benchClient{base: "http://" + ln.Addr().String(), c: &http.Client{Timeout: 5 * time.Minute}}
+	converge, err := c.prime(bc, fleet, replicated)
+	if err != nil {
+		return arm, err
+	}
+	arm.ConvergeMS = converge.Milliseconds()
+
+	type clientStats struct {
+		lat  []time.Duration
+		errs int
+		err  error
+	}
+	plans := make([]*bench.Benchmark, c.Clients*c.SessionsPerClient)
+	for i := range plans {
+		plans[i] = bench.ByName(c.Benchmarks[i%len(c.Benchmarks)])
+	}
+	stats := make([]clientStats, c.Clients)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	t0 := time.Now()
+	for ci := 0; ci < c.Clients; ci++ {
+		done.Add(1)
+		go func(ci int) {
+			defer done.Done()
+			st := &stats[ci]
+			ids := make([]string, c.SessionsPerClient)
+			calls := make([]string, c.SessionsPerClient)
+			for si := 0; si < c.SessionsPerClient; si++ {
+				b := plans[ci*c.SessionsPerClient+si]
+				id, err := c.setupSession(bc, b)
+				if err != nil {
+					st.err = err
+					return
+				}
+				ids[si], calls[si] = id, callFor(b, c.Size)
+			}
+			start.Wait()
+			for k := 0; k < c.CallsPerSession; k++ {
+				for si := 0; si < c.SessionsPerClient; si++ {
+					r0 := time.Now()
+					err := c.evalIn(bc, ids[si], calls[si])
+					st.lat = append(st.lat, time.Since(r0))
+					if err != nil {
+						st.errs++
+					}
+				}
+			}
+			for _, id := range ids {
+				bc.do("DELETE", "/sessions/"+id, nil, nil)
+			}
+		}(ci)
+	}
+	start.Done()
+	done.Wait()
+	wall := time.Since(t0)
+
+	var lat []time.Duration
+	for i := range stats {
+		if stats[i].err != nil {
+			return arm, fmt.Errorf("client %d: %w", i, stats[i].err)
+		}
+		arm.Errors += stats[i].errs
+		lat = append(lat, stats[i].lat...)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	arm.Requests = len(lat)
+	arm.WallMS = wall.Milliseconds()
+	if wall > 0 {
+		arm.EvalsPerS = float64(len(lat)) / wall.Seconds()
+	}
+	if n := len(lat); n > 0 {
+		q := func(p float64) int64 {
+			i := int(p*float64(n)+0.5) - 1
+			if i < 0 {
+				i = 0
+			}
+			if i >= n {
+				i = n - 1
+			}
+			return lat[i].Microseconds()
+		}
+		arm.P50US, arm.P95US, arm.P99US = q(0.50), q(0.95), q(0.99)
+	}
+
+	for _, fn := range fleet {
+		ms := fn.srv.Metrics()
+		arm.PerNode = append(arm.PerNode, NodeArmStats{
+			Node:       fn.node.ID,
+			Inserts:    ms.Repo.Inserts,
+			Replicated: ms.Repo.Replicated,
+			Hits:       ms.Repo.Hits,
+			Lookups:    ms.Repo.Lookups,
+			Evals:      ms.Evals.Total,
+		})
+		arm.FleetInserts += ms.Repo.Inserts
+		arm.FleetReplicated += ms.Repo.Replicated
+		arm.FleetHits += ms.Repo.Hits
+		arm.FleetLookups += ms.Repo.Lookups
+	}
+	arm.Gateway = gw.Stats()
+	return arm, nil
+}
+
+// Run executes both arms.
+func (c BenchConfig) Run() (*BenchReport, error) {
+	c = c.defaults()
+	vnodes := c.Vnodes
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	rep := &BenchReport{
+		Nodes:             c.Nodes,
+		Vnodes:            vnodes,
+		Clients:           c.Clients,
+		SessionsPerClient: c.SessionsPerClient,
+		CallsPerSession:   c.CallsPerSession,
+		Size:              c.Size.String(),
+		Benchmarks:        c.Benchmarks,
+		UniquePrograms:    len(c.uniquePrograms()),
+	}
+	for _, mode := range []string{"replicated", "isolated-fleet"} {
+		arm, err := c.runArm(mode, mode == "replicated")
+		if err != nil {
+			return nil, fmt.Errorf("%s arm: %w", mode, err)
+		}
+		rep.Arms = append(rep.Arms, arm)
+	}
+	return rep, nil
+}
+
+// Report runs the experiment and prints a results-file-style table.
+func (c BenchConfig) Report() (*BenchReport, error) {
+	c = c.defaults()
+	fmt.Fprintf(c.Out, "Cluster experiment: %d nodes, %d clients x %d sessions x %d calls, size %s\n",
+		c.Nodes, c.Clients, c.SessionsPerClient, c.CallsPerSession, c.Size)
+	fmt.Fprintln(c.Out, "==========================================================================================")
+	fmt.Fprintf(c.Out, "%-15s %9s %7s %10s %10s %9s %11s %9s\n",
+		"arm", "requests", "errors", "p50", "p99", "inserts", "replicated", "hit-rate")
+	fmt.Fprintln(c.Out, "------------------------------------------------------------------------------------------")
+	rep, err := c.Run()
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range rep.Arms {
+		hitRate := 0.0
+		if a.FleetLookups > 0 {
+			hitRate = float64(a.FleetHits) / float64(a.FleetLookups)
+		}
+		fmt.Fprintf(c.Out, "%-15s %9d %7d %10s %10s %9d %11d %8.1f%%\n",
+			a.Mode, a.Requests, a.Errors,
+			time.Duration(a.P50US)*time.Microsecond,
+			time.Duration(a.P99US)*time.Microsecond,
+			a.FleetInserts, a.FleetReplicated, 100*hitRate)
+		for _, n := range a.PerNode {
+			fmt.Fprintf(c.Out, "  %-13s %9d evals %24d %11d\n", n.Node, n.Evals, n.Inserts, n.Replicated)
+		}
+	}
+	fmt.Fprintf(c.Out, `
+arm:        replicated = entries compiled on one node are pushed to all peers;
+            isolated-fleet = each node compiles for itself (the control);
+inserts:    JIT compiles summed across the fleet — with replication each of the
+            %d unique programs is compiled roughly once fleet-wide, not %dx;
+replicated: entries applied from peers (served without a local compile).
+`, rep.UniquePrograms, rep.Nodes)
+	return rep, nil
+}

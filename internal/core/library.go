@@ -37,7 +37,17 @@ import (
 type Library struct {
 	fmu   sync.RWMutex
 	funcs map[string]*ast.Function
-	repo  *repo.Repository
+	// defTimes stamps each function's last source change (unix nanos).
+	// Cluster replication uses it as a last-writer-wins tiebreak: a
+	// replicated redefinition is adopted only when strictly newer than
+	// the live one, so a delayed replica of an old source can never
+	// clobber a newer definition. Locally registered functions are
+	// stamped with the local clock; replica-applied ones carry the
+	// origin's stamp; snapshot-restored ones are left at zero (the
+	// snapshot format predates clustering, and "any explicit definition
+	// beats a restored one" is the safe default).
+	defTimes map[string]int64
+	repo     *repo.Repository
 	// queue is the async compile pool (nil in synchronous mode). It is
 	// owned by the library: engines submit jobs but never close it.
 	queue *compilequeue.Pool
@@ -92,6 +102,7 @@ type LibraryOptions struct {
 func NewLibrary(opts LibraryOptions) *Library {
 	l := &Library{
 		funcs:    make(map[string]*ast.Function),
+		defTimes: make(map[string]int64),
 		repo:     repo.NewBounded(opts.RepoMaxEntries),
 		profiles: profile.NewStore(),
 		journal:  opts.Journal,
@@ -208,8 +219,18 @@ func (l *Library) register(fn *ast.Function) {
 		return
 	}
 	l.funcs[fn.Name] = fn
+	l.defTimes[fn.Name] = time.Now().UnixNano()
 	l.repo.Invalidate(fn.Name)
 	l.fmu.Unlock()
+}
+
+// DefTime returns the last-writer-wins stamp of a function's current
+// definition (0 when unknown — never registered, or restored from a
+// pre-cluster snapshot).
+func (l *Library) DefTime(name string) int64 {
+	l.fmu.RLock()
+	defer l.fmu.RUnlock()
+	return l.defTimes[name]
 }
 
 // --- persistence -------------------------------------------------------------
@@ -392,7 +413,7 @@ func (l *Library) EnablePersistence(path string, debounce time.Duration) persist
 	l.writer = w
 	l.loadStats = st
 	l.pmu.Unlock()
-	l.repo.SetOnChange(w.Notify)
+	l.repo.AddOnChange(w.Notify)
 	if st.Attempted {
 		cause := "warm-start"
 		if st.Error != "" {
@@ -418,6 +439,178 @@ func (l *Library) FlushPersistence() error {
 		return nil
 	}
 	return w.Flush()
+}
+
+// --- cluster replication -----------------------------------------------------
+
+// ApplyReplicated applies one replication record received from a
+// cluster peer: the function source (adopted under last-writer-wins
+// when it differs from the live definition) and, when the record
+// carries one, a compiled entry published via repo.InsertReplicated.
+// The bool reports whether anything was applied; the string names the
+// outcome for the ingest counters and is stable enough to assert on:
+//
+//	"source"            source adopted or already current, no entry in the record
+//	"applied"           the compiled entry was published
+//	"duplicate"         an equal-or-better entry (or a racing local compile) already serves the signature
+//	"stale-definition"  the record's source is older than the live definition
+//	"source-hash-mismatch", "source-parse", "entry-hash-mismatch",
+//	"bad-quality", "missing-program", "prepare-failed"
+//	                    validation failures; the record is dropped whole
+//
+// The staleness contract matches the warm-start loader: a record is
+// never trusted past its guards, an old definition can never clobber a
+// newer one (DefTime strictly-greater wins, so the local definition
+// wins ties), and the repository generation is captured under the
+// function-map lock so a local redefinition racing the apply drops the
+// entry rather than resurrecting code for dead source.
+func (l *Library) ApplyReplicated(rec *persist.EntryRecord) (bool, string) {
+	if persist.HashSource(rec.Source) != rec.SrcHash {
+		return false, "source-hash-mismatch"
+	}
+	file, err := parser.Parse(rec.Source)
+	if err != nil || len(file.Stmts) > 0 {
+		return false, "source-parse"
+	}
+	var fn *ast.Function
+	for _, f := range file.Funcs {
+		if f.Name == rec.Func {
+			fn = f
+			break
+		}
+	}
+	if fn == nil {
+		return false, "source-parse"
+	}
+
+	l.fmu.Lock()
+	if old, ok := l.funcs[rec.Func]; !ok {
+		l.funcs[rec.Func] = fn
+		l.defTimes[rec.Func] = rec.DefTime
+	} else if old.Source == rec.Source {
+		// Same definition; adopt the newer stamp so peer digests
+		// converge instead of ping-ponging in anti-entropy rounds.
+		if rec.DefTime > l.defTimes[rec.Func] {
+			l.defTimes[rec.Func] = rec.DefTime
+		}
+	} else if rec.DefTime > l.defTimes[rec.Func] {
+		// Genuine remote redefinition: publish then invalidate, in the
+		// same order (and under the same lock) as a local register, so
+		// no engine can pair the new source with old-generation code.
+		l.funcs[rec.Func] = fn
+		l.defTimes[rec.Func] = rec.DefTime
+		l.repo.Invalidate(rec.Func)
+	} else {
+		l.fmu.Unlock()
+		return false, "stale-definition"
+	}
+	gen := l.repo.Generation(rec.Func)
+	l.fmu.Unlock()
+
+	if rec.Entry == nil {
+		return true, "source"
+	}
+	es := rec.Entry
+	if es.SrcHash != rec.SrcHash {
+		return false, "entry-hash-mismatch"
+	}
+	q := repo.Quality(es.Quality)
+	if q > repo.QualityOpt {
+		return false, "bad-quality"
+	}
+	var code *vm.Compiled
+	if es.Prog != nil {
+		if code, err = vm.Prepare(es.Prog); err != nil {
+			return false, "prepare-failed"
+		}
+	} else if q != repo.QualityInterp {
+		return false, "missing-program"
+	}
+	// Hits start at zero: the origin's hit counts rank *its* working
+	// set, and seeding them here would shield never-used replicas from
+	// least-hit eviction.
+	e := repo.Restored(es.Sig, code, q, es.Speculative, 0)
+	if !l.repo.InsertReplicated(rec.Func, e, gen, rec.Origin) {
+		return false, "duplicate"
+	}
+	return true, "applied"
+}
+
+// ExportRecords renders the library's current state as replication
+// records: for every registered function, one record per live compiled
+// entry (each carrying the full source), or a single source-only record
+// when no entries exist yet. origin is stamped on every record. When
+// includeReplicated is false, entries that were themselves applied from
+// a peer are skipped — the push path uses this so replicas don't echo
+// around the cluster; anti-entropy repair passes true so any node can
+// heal any other. The function-map lock is held across the export, so
+// sources, stamps, and entries are always from the same generation.
+func (l *Library) ExportRecords(origin string, includeReplicated bool) []persist.EntryRecord {
+	l.fmu.RLock()
+	defer l.fmu.RUnlock()
+	names := make([]string, 0, len(l.funcs))
+	for name := range l.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []persist.EntryRecord
+	for _, name := range names {
+		fn := l.funcs[name]
+		base := persist.EntryRecord{
+			Origin:  origin,
+			Func:    name,
+			Source:  fn.Source,
+			SrcHash: persist.HashSource(fn.Source),
+			DefTime: l.defTimes[name],
+		}
+		n := 0
+		for _, e := range l.repo.Entries(name) {
+			if e.Replicated && !includeReplicated {
+				continue
+			}
+			rec := base
+			es := persist.EntryState{
+				SrcHash:     base.SrcHash,
+				Sig:         e.Sig,
+				Quality:     uint8(e.Quality),
+				Speculative: e.Speculative,
+				Hits:        e.Hits(),
+			}
+			if e.Code != nil {
+				es.Prog = e.Code.P
+			}
+			rec.Entry = &es
+			out = append(out, rec)
+			n++
+		}
+		if n == 0 {
+			out = append(out, base)
+		}
+	}
+	return out
+}
+
+// ExportDigest summarizes the library for anti-entropy reconciliation:
+// per function, the source hash, definition stamp, and sorted exact-
+// signature keys of every live entry (replicated ones included — a
+// digest describes what this node *has*, not what it compiled). Peers
+// compare digests and push only what the other side lacks.
+func (l *Library) ExportDigest() map[string]persist.FuncDigest {
+	l.fmu.RLock()
+	defer l.fmu.RUnlock()
+	out := make(map[string]persist.FuncDigest, len(l.funcs))
+	for name, fn := range l.funcs {
+		d := persist.FuncDigest{
+			SrcHash: persist.HashSource(fn.Source),
+			DefTime: l.defTimes[name],
+		}
+		for _, e := range l.repo.Entries(name) {
+			d.Entries = append(d.Entries, e.Sig.Key())
+		}
+		sort.Strings(d.Entries)
+		out[name] = d
+	}
+	return out
 }
 
 // PersistMetrics returns the persistence surface for /metrics: the

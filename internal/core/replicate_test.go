@@ -1,0 +1,240 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/persist"
+)
+
+// donorRecords compiles src's function on a throwaway library and
+// returns its replication records — the same bytes a peer would push.
+func donorRecords(t *testing.T, src, fn string, arg float64) []persist.EntryRecord {
+	t.Helper()
+	lib := NewLibrary(LibraryOptions{})
+	defer lib.Close()
+	a := New(Options{Tier: TierJIT, Library: lib})
+	if err := a.Define(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call(fn, []*mat.Value{mat.Scalar(arg)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	recs := lib.ExportRecords("node-a", false)
+	if len(recs) == 0 {
+		t.Fatal("donor exported no records")
+	}
+	return recs
+}
+
+// TestApplyReplicatedWarmsColdNode is the fleet warm-up story end to
+// end in-process: records exported from a node that compiled serve a
+// cold node's first call as a repository hit — zero local compiles.
+func TestApplyReplicatedWarmsColdNode(t *testing.T) {
+	src := "function y = add2(x)\ny = x + 2;\n"
+	recs := donorRecords(t, src, "add2", 1)
+
+	lib := NewLibrary(LibraryOptions{})
+	defer lib.Close()
+	for i := range recs {
+		if ok, why := lib.ApplyReplicated(&recs[i]); !ok {
+			t.Fatalf("apply record %d: %s", i, why)
+		}
+	}
+	st := lib.Repo().Stats()
+	if st.Replicated != 1 || st.Inserts != 0 || st.Loaded != 0 {
+		t.Fatalf("replica accounting after apply: %+v", st)
+	}
+
+	// The source arrived with the record: an engine on the cold node can
+	// call without ever defining, and the call is a warm hit.
+	b := New(Options{Tier: TierJIT, Library: lib})
+	outs, err := b.Call("add2", []*mat.Value{mat.Scalar(1)}, 1)
+	if err != nil || outs[0].Re()[0] != 3 {
+		t.Fatalf("cold-node call: %v %v", outs, err)
+	}
+	st = lib.Repo().Stats()
+	if st.Inserts != 0 || st.Hits < 1 {
+		t.Fatalf("cold-node call should hit the replica, not compile: %+v", st)
+	}
+}
+
+func TestApplyReplicatedGuards(t *testing.T) {
+	src := "function y = add2(x)\ny = x + 2;\n"
+	recs := donorRecords(t, src, "add2", 1)
+	var withEntry *persist.EntryRecord
+	for i := range recs {
+		if recs[i].Entry != nil {
+			withEntry = &recs[i]
+		}
+	}
+	if withEntry == nil {
+		t.Fatal("donor exported no compiled entry")
+	}
+
+	lib := NewLibrary(LibraryOptions{})
+	defer lib.Close()
+
+	bad := *withEntry
+	bad.SrcHash++
+	if ok, why := lib.ApplyReplicated(&bad); ok || why != "source-hash-mismatch" {
+		t.Fatalf("tampered hash: ok=%v why=%s", ok, why)
+	}
+
+	if ok, why := lib.ApplyReplicated(withEntry); !ok || why != "applied" {
+		t.Fatalf("first apply: ok=%v why=%s", ok, why)
+	}
+	// The same record again: source is current, entry already served.
+	if ok, why := lib.ApplyReplicated(withEntry); ok || why != "duplicate" {
+		t.Fatalf("second apply: ok=%v why=%s", ok, why)
+	}
+	if st := lib.Repo().Stats(); st.Replicated != 1 || st.ReplicatedDrops != 1 {
+		t.Fatalf("guard accounting: %+v", st)
+	}
+}
+
+// TestApplyReplicatedLastWriterWins pins the redefinition contract:
+// an older remote definition never clobbers a newer local one, and a
+// newer remote definition replaces source *and* invalidates local
+// compiled code in the same motion.
+func TestApplyReplicatedLastWriterWins(t *testing.T) {
+	oldRecs := donorRecords(t, "function y = f(x)\ny = x + 1;\n", "f", 1)
+
+	lib := NewLibrary(LibraryOptions{})
+	defer lib.Close()
+	b := New(Options{Tier: TierJIT, Library: lib})
+	// Local definition registered *after* the donor's records were
+	// stamped → local is the last writer.
+	if err := b.Define("function y = f(x)\ny = x + 10;\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Call("f", []*mat.Value{mat.Scalar(1)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range oldRecs {
+		if ok, why := lib.ApplyReplicated(&oldRecs[i]); ok || why != "stale-definition" {
+			t.Fatalf("old record must lose LWW: ok=%v why=%s", ok, why)
+		}
+	}
+	if outs, _ := b.Call("f", []*mat.Value{mat.Scalar(1)}, 1); outs[0].Re()[0] != 11 {
+		t.Fatalf("local definition clobbered by stale record: got %g", outs[0].Re()[0])
+	}
+
+	// Now the reverse: a genuinely newer remote definition wins and the
+	// old compiled entry cannot serve the new source.
+	newRecs := donorRecords(t, "function y = f(x)\ny = x + 100;\n", "f", 1)
+	applied := false
+	for i := range newRecs {
+		ok, why := lib.ApplyReplicated(&newRecs[i])
+		if ok && (why == "applied" || why == "source") {
+			applied = true
+		}
+	}
+	if !applied {
+		t.Fatal("newer remote definition was not adopted")
+	}
+	if outs, _ := b.Call("f", []*mat.Value{mat.Scalar(1)}, 1); outs[0].Re()[0] != 101 {
+		t.Fatalf("remote redefinition not live: got %g", outs[0].Re()[0])
+	}
+}
+
+// TestExportDigestConverges: after replication both nodes describe the
+// same state — the anti-entropy fixed point.
+func TestExportDigestConverges(t *testing.T) {
+	src := "function y = add2(x)\ny = x + 2;\n"
+	libA := NewLibrary(LibraryOptions{})
+	defer libA.Close()
+	a := New(Options{Tier: TierJIT, Library: libA})
+	if err := a.Define(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call("add2", []*mat.Value{mat.Scalar(1)}, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	libB := NewLibrary(LibraryOptions{})
+	defer libB.Close()
+	recs := libA.ExportRecords("node-a", false)
+	for i := range recs {
+		if ok, why := libB.ApplyReplicated(&recs[i]); !ok {
+			t.Fatalf("apply: %s", why)
+		}
+	}
+	da, db := libA.ExportDigest()["add2"], libB.ExportDigest()["add2"]
+	if da.SrcHash != db.SrcHash || da.DefTime != db.DefTime {
+		t.Fatalf("digests diverge: %+v vs %+v", da, db)
+	}
+	if len(da.Entries) != len(db.Entries) || da.Entries[0] != db.Entries[0] {
+		t.Fatalf("entry keys diverge: %v vs %v", da.Entries, db.Entries)
+	}
+	// Echo suppression: B must not offer the replica back on the push
+	// path, but must offer it for anti-entropy repair.
+	for _, rec := range libB.ExportRecords("node-b", false) {
+		if rec.Entry != nil {
+			t.Fatalf("push-path export echoes a replicated entry: %+v", rec)
+		}
+	}
+	repaired := false
+	for _, rec := range libB.ExportRecords("node-b", true) {
+		if rec.Entry != nil {
+			repaired = true
+		}
+	}
+	if !repaired {
+		t.Fatal("anti-entropy export must include replicated entries")
+	}
+}
+
+// TestApplyReplicatedVsCompileRace races a peer apply against a live
+// engine compiling the same (function, signature) under -race: the
+// repository must end with exactly one entry for the exact signature
+// and keep answering correctly, in either interleaving.
+func TestApplyReplicatedVsCompileRace(t *testing.T) {
+	src := "function y = add2(x)\ny = x + 2;\n"
+	recs := donorRecords(t, src, "add2", 1)
+	var rec *persist.EntryRecord
+	for i := range recs {
+		if recs[i].Entry != nil {
+			rec = &recs[i]
+		}
+	}
+	if rec == nil {
+		t.Fatal("donor exported no compiled entry")
+	}
+	key := rec.Entry.Sig.Key()
+
+	for i := 0; i < 50; i++ {
+		lib := NewLibrary(LibraryOptions{})
+		b := New(Options{Tier: TierJIT, Library: lib})
+		if err := b.Define(src); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if outs, err := b.Call("add2", []*mat.Value{mat.Scalar(1)}, 1); err != nil || outs[0].Re()[0] != 3 {
+				t.Errorf("round %d: racing call: %v %v", i, outs, err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			lib.ApplyReplicated(rec)
+		}()
+		wg.Wait()
+		n := 0
+		for _, e := range lib.Repo().Entries("add2") {
+			if e.Sig.Key() == key {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("round %d: %d entries for one exact signature, want 1", i, n)
+		}
+		if outs, err := b.Call("add2", []*mat.Value{mat.Scalar(1)}, 1); err != nil || outs[0].Re()[0] != 3 {
+			t.Fatalf("round %d: post-race call: %v %v", i, outs, err)
+		}
+		lib.Close()
+	}
+}

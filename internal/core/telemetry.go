@@ -39,6 +39,8 @@ func EmitLibrarySamples(emit func(telemetry.Sample), rs repo.Stats, qs compilequ
 	counter(emit, "majic_repo_evictions_total", "Entries evicted by the per-function cap.", float64(rs.Evictions))
 	counter(emit, "majic_repo_replaces_total", "Upgrade swaps (tier-ups and hot recompiles).", float64(rs.Replaces))
 	counter(emit, "majic_repo_loaded_total", "Entries restored from a warm-start snapshot.", float64(rs.Loaded))
+	counter(emit, "majic_repo_replicated_total", "Entries applied from cluster peers (never compiled here).", float64(rs.Replicated))
+	counter(emit, "majic_repo_replicated_drops_total", "Replicated applies dropped by the duplicate or generation guard.", float64(rs.ReplicatedDrops))
 	gauge(emit, "majic_repo_functions", "Functions with at least one live compiled entry.", float64(rs.Functions))
 	gauge(emit, "majic_repo_entries", "Live compiled entries across all functions.", float64(rs.Entries))
 

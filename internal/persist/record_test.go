@@ -1,0 +1,137 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+// testRecord builds a record with a full compiled entry (Prog included)
+// by borrowing the snapshot fixture's richest entry.
+func testRecord() *EntryRecord {
+	fs := testSnapshot().Funcs[0]
+	es := fs.Entries[0]
+	return &EntryRecord{
+		Origin:  "node-a",
+		Func:    fs.Name,
+		Source:  fs.Source,
+		SrcHash: fs.SrcHash,
+		DefTime: 1723000000123456789,
+		Entry:   &es,
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	want := testRecord()
+	data := EncodeRecord(want)
+	got, err := DecodeRecord(data)
+	if err != nil {
+		t.Fatalf("DecodeRecord: %v", err)
+	}
+	// Compare re-encoded bytes (NaN payloads in the Prog make DeepEqual
+	// on the structs unreliable).
+	if again := EncodeRecord(got); !reflect.DeepEqual(data, again) {
+		t.Fatalf("re-encode mismatch: %d vs %d bytes", len(data), len(again))
+	}
+	if got.Origin != "node-a" || got.Func != want.Func || got.Source != want.Source ||
+		got.SrcHash != want.SrcHash || got.DefTime != want.DefTime {
+		t.Fatalf("fields lost: %+v", got)
+	}
+	if got.Entry == nil || got.Entry.Prog == nil || got.Entry.Hits != want.Entry.Hits {
+		t.Fatalf("entry lost: %+v", got.Entry)
+	}
+}
+
+func TestRecordRoundTripSourceOnly(t *testing.T) {
+	src := "function y = g(x)\ny = x;\n"
+	want := &EntryRecord{
+		Origin: "node-b", Func: "g", Source: src,
+		SrcHash: HashSource(src), DefTime: 99,
+	}
+	got, err := DecodeRecord(EncodeRecord(want))
+	if err != nil {
+		t.Fatalf("DecodeRecord: %v", err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("round trip: want %+v, got %+v", want, got)
+	}
+}
+
+func TestRecordRejectsSnapshotBytes(t *testing.T) {
+	// A whole-file snapshot must not decode as a record, and vice versa.
+	snap := Encode(testSnapshot())
+	if _, err := DecodeRecord(snap); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("snapshot accepted as record: %v", err)
+	}
+	rec := EncodeRecord(testRecord())
+	if _, err := Decode(rec); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("record accepted as snapshot: %v", err)
+	}
+}
+
+func TestRecordRejectsVersionMismatch(t *testing.T) {
+	data := EncodeRecord(testRecord())
+	binary.LittleEndian.PutUint16(data[4:6], Version+1)
+	if _, err := DecodeRecord(data); !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+func TestRecordRejectsForeignFingerprint(t *testing.T) {
+	data := EncodeRecord(testRecord())
+	binary.LittleEndian.PutUint64(data[8:16], ^binary.LittleEndian.Uint64(data[8:16]))
+	if _, err := DecodeRecord(data); !errors.Is(err, ErrFingerprint) {
+		t.Fatalf("want ErrFingerprint, got %v", err)
+	}
+}
+
+func TestRecordRejectsChecksumDamage(t *testing.T) {
+	data := EncodeRecord(testRecord())
+	data[len(data)-1] ^= 0x40 // flip one payload bit
+	if _, err := DecodeRecord(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+// TestRecordRejectsEveryTruncation cuts the encoding at every length:
+// all must error (usually on the declared-length check), none may panic
+// or succeed.
+func TestRecordRejectsEveryTruncation(t *testing.T) {
+	data := EncodeRecord(testRecord())
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeRecord(data[:n]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", n, len(data))
+		}
+	}
+}
+
+// TestRecordRejectsHostileLengths rewrites the source-string length
+// field to a huge value (fixing up the CRC so only the length guard can
+// object): decode must fail without a giant allocation.
+func TestRecordRejectsHostileLengths(t *testing.T) {
+	rec := &EntryRecord{
+		Origin: "x", Func: "g", Source: "function y = g(x)\ny = x;\n",
+	}
+	rec.SrcHash = HashSource(rec.Source)
+	data := EncodeRecord(rec)
+	payload := data[headerLen:]
+	// Payload layout: origin (len+bytes), func (len+bytes), source len...
+	off := 4 + len(rec.Origin) + 4 + len(rec.Func)
+	binary.LittleEndian.PutUint32(payload[off:], 0x7fffffff)
+	binary.LittleEndian.PutUint32(data[20:24], crc32.ChecksumIEEE(payload))
+	if _, err := DecodeRecord(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt on hostile length, got %v", err)
+	}
+}
+
+func TestRecordRejectsTrailingBytes(t *testing.T) {
+	data := EncodeRecord(testRecord())
+	grown := append(append([]byte(nil), data...), 0xEE)
+	binary.LittleEndian.PutUint32(grown[16:20], binary.LittleEndian.Uint32(grown[16:20])+1)
+	binary.LittleEndian.PutUint32(grown[20:24], crc32.ChecksumIEEE(grown[headerLen:]))
+	if _, err := DecodeRecord(grown); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt on trailing bytes, got %v", err)
+	}
+}

@@ -58,7 +58,12 @@ type Entry struct {
 	// Speculative marks entries produced ahead of time by the
 	// speculator (for the harness's hit/miss statistics).
 	Speculative bool
-	hits        int64 // atomic
+	// Replicated marks entries applied from a cluster peer rather than
+	// compiled locally. A local compile publishing the same exact
+	// signature replaces a replicated entry in place (local code wins),
+	// so replication racing a local JIT keeps exactly one winner.
+	Replicated bool
+	hits       int64 // atomic
 }
 
 // Hits returns the number of Lookup hits this entry has served.
@@ -78,8 +83,14 @@ type Stats struct {
 	Evictions    int `json:"evictions"`   // entries evicted by the per-function cap
 	Replaces     int `json:"replaces"`    // upgrade swaps (tier-ups and hot recompiles)
 	Loaded       int `json:"loaded"`      // entries restored from a warm-start snapshot (not Inserts)
-	Functions    int `json:"functions"`   // functions with at least one live entry (snapshot)
-	Entries      int `json:"entries"`     // live compiled entries across all functions (snapshot)
+	// Replicated counts entries applied from cluster peers — code this
+	// node serves but never compiled, distinct from both Inserts (local
+	// compiles) and Loaded (warm-start restores). ReplicatedDrops counts
+	// replicated applies discarded by the duplicate or generation guard.
+	Replicated      int `json:"replicated"`
+	ReplicatedDrops int `json:"replicated_drops"`
+	Functions       int `json:"functions"` // functions with at least one live entry (snapshot)
+	Entries         int `json:"entries"`   // live compiled entries across all functions (snapshot)
 }
 
 // Repository is the signature-keyed code database.
@@ -94,11 +105,12 @@ type Repository struct {
 	// distinct constant argument, before widening kicks in) cannot grow
 	// the repository without bound.
 	maxPerFunc int
-	// onChange, when set, is invoked (outside the repository lock) after
+	// onChange callbacks are invoked (outside the repository lock) after
 	// every mutation that changes what a snapshot of the repository
 	// would contain: inserts, replaces, and invalidations. The
-	// persistence layer hooks its write-behind snapshotter here.
-	onChange func()
+	// persistence layer hooks its write-behind snapshotter here; the
+	// cluster replicator hooks its push loop.
+	onChange []func()
 	// journal, when set, receives one eviction event per capacity
 	// eviction (nil-safe; evictions are already a slow path).
 	journal *telemetry.Journal
@@ -180,13 +192,32 @@ func (r *Repository) Entries(name string) []*Entry {
 
 // SetOnChange registers the snapshot-dirtying callback, invoked after
 // every insert, replace, and invalidation (outside the repository
-// lock, so the callback may call Entries/Stats/FunctionNames). Set it
-// before the repository sees concurrent traffic — the warm-start
-// sequence installs it right after loading, before the daemon listens.
+// lock, so the callback may call Entries/Stats/FunctionNames),
+// replacing any callbacks registered so far. Set it before the
+// repository sees concurrent traffic — the warm-start sequence
+// installs it right after loading, before the daemon listens.
 func (r *Repository) SetOnChange(fn func()) {
 	r.mu.Lock()
-	r.onChange = fn
+	r.onChange = []func(){fn}
 	r.mu.Unlock()
+}
+
+// AddOnChange appends a mutation callback without displacing the ones
+// already registered — the persistence snapshotter and the cluster
+// replicator both observe the same repository this way. Like
+// SetOnChange, register before concurrent traffic starts.
+func (r *Repository) AddOnChange(fn func()) {
+	r.mu.Lock()
+	r.onChange = append(r.onChange, fn)
+	r.mu.Unlock()
+}
+
+// notify runs the registered onChange callbacks; call it only outside
+// the repository lock, with the slice captured under it.
+func notify(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
 }
 
 // SetJournal attaches the tiering event journal; capacity evictions are
@@ -225,9 +256,7 @@ func (r *Repository) Insert(name string, e *Entry) {
 	r.insertLocked(name, e)
 	onChange := r.onChange
 	r.mu.Unlock()
-	if onChange != nil {
-		onChange()
-	}
+	notify(onChange)
 }
 
 // InsertAt adds an entry if the function's generation still equals gen.
@@ -243,9 +272,7 @@ func (r *Repository) InsertAt(name string, e *Entry, gen uint64) bool {
 	r.insertLocked(name, e)
 	onChange := r.onChange
 	r.mu.Unlock()
-	if onChange != nil {
-		onChange()
-	}
+	notify(onChange)
 	return true
 }
 
@@ -274,10 +301,80 @@ func (r *Repository) InsertLoaded(name string, e *Entry) {
 
 func (r *Repository) insertLocked(name string, e *Entry) {
 	r.stats.Inserts++
+	// A local compile for a signature already served by a replicated
+	// entry replaces it in place instead of appending a duplicate: the
+	// locally compiled code wins (it is at least as fresh), and exactly
+	// one entry per exact signature survives the replication-vs-JIT
+	// race in either arrival order.
+	for i, old := range r.funcs[name] {
+		if old.Replicated && old.Sig.Key() == e.Sig.Key() {
+			atomic.StoreInt64(&e.hits, old.Hits())
+			r.funcs[name][i] = e
+			return
+		}
+	}
 	r.funcs[name] = append(r.funcs[name], e)
 	if r.maxPerFunc > 0 && len(r.funcs[name]) > r.maxPerFunc {
 		r.evictLocked(name, e)
 	}
+}
+
+// InsertReplicated publishes an entry received from a cluster peer, at
+// generation gen (captured when the record's source text was validated
+// against the live registration). It returns false — counting a
+// ReplicatedDrop — when the generation moved (a local redefinition
+// landed meanwhile; replicated code must not resurrect it) or when an
+// entry with the identical exact signature already exists at equal or
+// better quality (the local JIT or an earlier replica won the race). A
+// strictly better-quality replica upgrades the duplicate in place.
+// Applied entries count under stats.Replicated, never Inserts or
+// Loaded, and are journaled under telemetry.EventReplication.
+func (r *Repository) InsertReplicated(name string, e *Entry, gen uint64, origin string) bool {
+	e.Replicated = true
+	r.mu.Lock()
+	if r.gens[name] != gen {
+		r.stats.ReplicatedDrops++
+		r.mu.Unlock()
+		return false
+	}
+	for i, old := range r.funcs[name] {
+		if old.Sig.Key() != e.Sig.Key() {
+			continue
+		}
+		if e.Quality <= old.Quality {
+			r.stats.ReplicatedDrops++
+			r.mu.Unlock()
+			return false
+		}
+		atomic.StoreInt64(&e.hits, old.Hits())
+		r.funcs[name][i] = e
+		r.replicatedLocked(name, e, origin)
+		onChange := r.onChange
+		r.mu.Unlock()
+		notify(onChange)
+		return true
+	}
+	r.funcs[name] = append(r.funcs[name], e)
+	if r.maxPerFunc > 0 && len(r.funcs[name]) > r.maxPerFunc {
+		r.evictLocked(name, e)
+	}
+	r.replicatedLocked(name, e, origin)
+	onChange := r.onChange
+	r.mu.Unlock()
+	notify(onChange)
+	return true
+}
+
+func (r *Repository) replicatedLocked(name string, e *Entry, origin string) {
+	r.stats.Replicated++
+	r.journal.Record(telemetry.Event{
+		Kind:   telemetry.EventReplication,
+		Func:   name,
+		Sig:    e.Sig.Key(),
+		Cause:  "peer-apply",
+		Gen:    r.gens[name],
+		Detail: fmt.Sprintf("origin=%s quality=%s", origin, e.Quality),
+	})
 }
 
 // evictLocked drops the least-hit entry for name, sparing the
@@ -332,9 +429,7 @@ func (r *Repository) Replace(name string, old, repl *Entry) bool {
 			r.stats.Replaces++
 			onChange := r.onChange
 			r.mu.Unlock()
-			if onChange != nil {
-				onChange()
-			}
+			notify(onChange)
 			return true
 		}
 	}
@@ -358,9 +453,7 @@ func (r *Repository) Invalidate(name string) {
 	// Notify even when no entries existed: the library publishes the new
 	// source before invalidating, so the snapshot's source text for this
 	// function is stale either way.
-	if onChange != nil {
-		onChange()
-	}
+	notify(onChange)
 }
 
 // SameKindsDifferentDetail reports whether an existing entry matches

@@ -134,6 +134,11 @@ type serverMetrics struct {
 	evalsRejected    atomic.Uint64 // admission-control bounces
 	evalsInflight    atomic.Int64
 
+	// /cluster/ingest outcomes (see server.IngestStats).
+	ingestApplied  atomic.Uint64
+	ingestDropped  atomic.Uint64
+	ingestRejected atomic.Uint64
+
 	routes map[string]*hist
 }
 
@@ -143,6 +148,7 @@ func newServerMetrics() *serverMetrics {
 		"eval":      {},
 		"workspace": {},
 		"destroy":   {},
+		"ingest":    {},
 	}}
 }
 

@@ -67,6 +67,11 @@ type Options struct {
 	// PersistDebounce overrides the write-behind debounce interval
 	// (0 = the persist package default; tests shorten it).
 	PersistDebounce time.Duration
+	// NodeID names this daemon in a cluster: stamped on /readyz,
+	// /cluster/digest, and /metrics, and recorded as the origin of
+	// entries this node replicates to peers. Empty for a standalone
+	// daemon.
+	NodeID string
 
 	// MaxSessions caps the session table (default 256); creates beyond
 	// the cap are rejected with 503 until the reaper or a DELETE frees
@@ -135,6 +140,13 @@ type Server struct {
 	registry *telemetry.Registry
 	tracer   *telemetry.Tracer
 	journal  *telemetry.Journal
+
+	// clusterMetrics, when set (SetClusterMetrics), contributes a
+	// "cluster" section to the JSON /metrics payload — the replicator in
+	// cmd/majicd hooks its push/anti-entropy counters in here without
+	// the server package importing the cluster package.
+	cmu            sync.Mutex
+	clusterMetrics func() any
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -209,9 +221,17 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics.prom", s.handleMetricsProm)
 	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /debug/events", s.handleEvents)
+	// Liveness vs readiness: /healthz answers "is the process up" and
+	// never flips — a draining daemon is still alive and must not be
+	// restarted by its supervisor mid-drain. /readyz answers "should a
+	// router send traffic here" and goes 503 the moment draining starts,
+	// so a cluster gateway fails sessions over before shutdown bites.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	s.mux.HandleFunc("POST /cluster/ingest", s.timed("ingest", s.handleClusterIngest))
+	s.mux.HandleFunc("GET /cluster/digest", s.handleClusterDigest)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
@@ -518,6 +538,20 @@ type MetricsSnapshot struct {
 	// load/reject counters and write-behind save counters. Enabled is
 	// false when the daemon runs without -repo-path (or isolated).
 	Persist persist.Metrics `json:"persist"`
+	// Node is the cluster node ID (empty standalone). Ingest counts
+	// replication records received from peers; Cluster carries the
+	// replicator's own counters when one is attached.
+	Node    string      `json:"node,omitempty"`
+	Ingest  IngestStats `json:"ingest"`
+	Cluster any         `json:"cluster,omitempty"`
+}
+
+// IngestStats counts /cluster/ingest traffic (records received from
+// peers), by outcome.
+type IngestStats struct {
+	Applied  uint64 `json:"applied"`  // records that changed this node (source or entry)
+	Dropped  uint64 `json:"dropped"`  // valid records rejected by staleness/duplicate guards
+	Rejected uint64 `json:"rejected"` // undecodable or invalid records
 }
 
 // Metrics returns the current snapshot (also served at /metrics).
@@ -564,6 +598,15 @@ func (s *Server) Metrics() MetricsSnapshot {
 			ms.Profile.Signatures += ps.Signatures
 		}
 	}
+	ms.Node = s.opts.NodeID
+	ms.Ingest.Applied = s.metrics.ingestApplied.Load()
+	ms.Ingest.Dropped = s.metrics.ingestDropped.Load()
+	ms.Ingest.Rejected = s.metrics.ingestRejected.Load()
+	s.cmu.Lock()
+	if s.clusterMetrics != nil {
+		ms.Cluster = s.clusterMetrics()
+	}
+	s.cmu.Unlock()
 	ms.Parallel.Threads = parallel.DefaultThreads()
 	ms.Parallel.Workers = parallel.Workers()
 	ms.BufferPool = mat.ReadPoolStats()
@@ -635,6 +678,9 @@ func (s *Server) collectTelemetry(emit func(telemetry.Sample)) {
 	counter(emit, "majic_eval_timeouts_total", "Evaluations killed by their deadline.", float64(ms.Evals.Timeouts))
 	counter(emit, "majic_eval_rejected_total", "Evaluations bounced by admission control.", float64(ms.Evals.Rejected))
 	gauge(emit, "majic_evals_inflight", "Evaluations currently executing.", float64(ms.Evals.Inflight))
+	counter(emit, "majic_cluster_ingest_applied_total", "Peer replication records applied.", float64(ms.Ingest.Applied))
+	counter(emit, "majic_cluster_ingest_dropped_total", "Peer records dropped by staleness/duplicate guards.", float64(ms.Ingest.Dropped))
+	counter(emit, "majic_cluster_ingest_rejected_total", "Peer records rejected as invalid.", float64(ms.Ingest.Rejected))
 	gauge(emit, "majic_parallel_threads", "Worker threads configured for parallel loops.", float64(ms.Parallel.Threads))
 	gauge(emit, "majic_parallel_workers", "Parallel pool workers currently alive.", float64(ms.Parallel.Workers))
 	counter(emit, "majic_buffer_pool_gets_total", "Matrix allocations routed through the pool.", float64(ms.BufferPool.Gets))

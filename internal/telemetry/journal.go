@@ -29,6 +29,10 @@ const (
 	// EventOSRTransfer: interpreter state moved onto compiled code
 	// mid-loop.
 	EventOSRTransfer EventKind = "osr_transfer"
+	// EventReplication: a repository entry compiled on a cluster peer
+	// was applied locally (Cause "peer-apply", Detail names the origin
+	// node).
+	EventReplication EventKind = "replication"
 )
 
 // Deopt causes — one per guard in core.osrTransfer, so every deopt in
