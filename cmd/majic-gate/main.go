@@ -38,6 +38,7 @@ func main() {
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per fleet node on the hash ring (0 = default 64)")
 	healthInterval := flag.Duration("health-interval", 0, "readiness probe period (0 = default 2s)")
 	proxyTimeout := flag.Duration("proxy-timeout", 2*time.Minute, "per-request timeout toward fleet nodes")
+	maxReplayOps := flag.Int("max-replay-ops", 0, "per-session failover replay log cap (0 = default 256); overflow evicts the oldest definitions, counted in majic_gate_replay_evicted_total")
 	logLevel := flag.String("log-level", "info", "structured log threshold: debug|info|warn|error")
 	flag.Parse()
 
@@ -61,10 +62,11 @@ func main() {
 	health := cluster.NewHealth(fleet, *healthInterval, nil)
 	health.Start()
 	gw := cluster.NewGateway(cluster.GatewayOptions{
-		Ring:   ring,
-		Health: health,
-		Client: &http.Client{Timeout: *proxyTimeout},
-		Logger: logger,
+		Ring:         ring,
+		Health:       health,
+		Client:       &http.Client{Timeout: *proxyTimeout},
+		Logger:       logger,
+		MaxReplayOps: *maxReplayOps,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: gw.Handler()}

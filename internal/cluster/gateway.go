@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/parser"
 	"repro/internal/server"
 	"repro/internal/telemetry"
 )
@@ -33,10 +34,11 @@ import (
 // session restores definitions and explicit bindings, not arbitrary
 // computed state.
 type Gateway struct {
-	ring   *Ring
-	health *Health
-	client *http.Client
-	logger *slog.Logger
+	ring         *Ring
+	health       *Health
+	client       *http.Client
+	logger       *slog.Logger
+	maxReplayOps int
 
 	registry *telemetry.Registry
 
@@ -56,6 +58,7 @@ type gatewayStats struct {
 	retries         atomic.Uint64 // forward attempts beyond the first
 	errors          atomic.Uint64 // requests that exhausted failover
 	replayedOps     atomic.Uint64 // replay-log operations re-applied
+	replayEvicted   atomic.Uint64 // defining ops dropped from full replay logs
 }
 
 // GatewayStats is the JSON view of the gateway's own counters.
@@ -68,6 +71,7 @@ type GatewayStats struct {
 	Retries         uint64 `json:"retries"`
 	Errors          uint64 `json:"errors"`
 	ReplayedOps     uint64 `json:"replayed_ops"`
+	ReplayEvicted   uint64 `json:"replay_evicted"`
 }
 
 // replayOp is one logged operation: a workspace PUT or a defining eval.
@@ -77,10 +81,13 @@ type replayOp struct {
 	body   []byte
 }
 
-// maxReplayOps bounds a session's replay log; beyond it the oldest
-// non-binding ops are dropped (a runaway definer shouldn't grow gateway
-// memory without bound).
-const maxReplayOps = 256
+// DefaultMaxReplayOps bounds a session's replay log (override with
+// GatewayOptions.MaxReplayOps); beyond it the oldest non-binding ops
+// are dropped (a runaway definer shouldn't grow gateway memory without
+// bound). Evictions are counted (replay_evicted /
+// majic_gate_replay_evicted_total) and logged: a session that evicts
+// will come back from failover missing its oldest definitions.
+const DefaultMaxReplayOps = 256
 
 type gwSession struct {
 	id  string
@@ -101,6 +108,11 @@ type GatewayOptions struct {
 	// evals can legitimately run long).
 	Client *http.Client
 	Logger *slog.Logger
+	// MaxReplayOps bounds each session's failover replay log
+	// (0 = DefaultMaxReplayOps). Size it above the largest number of
+	// function definitions plus workspace bindings a session is expected
+	// to accumulate — overflow evicts the oldest definitions.
+	MaxReplayOps int
 }
 
 // NewGateway builds the gateway (not yet listening; mount Handler).
@@ -113,14 +125,19 @@ func NewGateway(opts GatewayOptions) *Gateway {
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
+	maxOps := opts.MaxReplayOps
+	if maxOps <= 0 {
+		maxOps = DefaultMaxReplayOps
+	}
 	g := &Gateway{
-		ring:     opts.Ring,
-		health:   opts.Health,
-		client:   client,
-		logger:   logger,
-		registry: telemetry.NewRegistry(),
-		sessions: make(map[string]*gwSession),
-		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		ring:         opts.Ring,
+		health:       opts.Health,
+		client:       client,
+		logger:       logger,
+		maxReplayOps: maxOps,
+		registry:     telemetry.NewRegistry(),
+		sessions:     make(map[string]*gwSession),
+		rng:          rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	g.registry.RegisterFunc("gateway", g.collectTelemetry)
 	return g
@@ -284,6 +301,13 @@ func (g *Gateway) forward(s *gwSession, method, suffix string, body []byte) (int
 			continue
 		}
 		if failoverStatus(status, raw) {
+			if status != http.StatusNotFound {
+				// A draining node still holds the session we're walking
+				// away from: release it so it doesn't linger until idle
+				// eviction. A 404 means the backend already lost it —
+				// nothing to delete.
+				g.do("DELETE", s.node.Addr+"/sessions/"+s.backendID, nil)
+			}
 			s.backendID = ""
 			lastErr = fmt.Errorf("node %s: HTTP %d: %s", s.node.ID, status, raw)
 			continue
@@ -295,23 +319,33 @@ func (g *Gateway) forward(s *gwSession, method, suffix string, body []byte) (int
 }
 
 // failoverStatus decides whether a backend answer means "move the
-// session" rather than "relay to the client": 404 (the backend lost the
-// session — it isn't the client's to lose, the gateway owns backend
-// ids) and 503 with kind "draining" (the node is shutting down). A 503
-// kind "saturated" stays with the node — admission pushback is an
-// answer, and hopping shards on load would defeat placement.
+// session" rather than "relay to the client": 404 kind "no_session"
+// (the backend lost the session — it isn't the client's to lose, the
+// gateway owns backend ids) and 503 with kind "draining" (the node is
+// shutting down). A 404 kind "no_variable" stays put — the daemon also
+// answers 404 for a missing workspace variable, and after a real
+// failover that's guaranteed (non-logged computed state is not
+// replayed), so treating it as a lost session would loop the session
+// around the ring for an answer the client simply deserves to see. A
+// 503 kind "saturated" likewise stays with the node — admission
+// pushback is an answer, and hopping shards on load would defeat
+// placement.
 func failoverStatus(status int, raw []byte) bool {
-	if status == http.StatusNotFound {
-		return true
-	}
-	if status != http.StatusServiceUnavailable {
-		return false
-	}
 	var eb errorBody
-	if err := json.Unmarshal(raw, &eb); err != nil {
-		return true // a 503 with no parseable kind: assume the node is going away
+	unparseable := json.Unmarshal(raw, &eb) != nil
+	switch status {
+	case http.StatusNotFound:
+		// No parseable kind means the answer didn't come from a healthy
+		// majicd session route (an intermediary, a wrong process):
+		// assume the session is gone.
+		return unparseable || eb.Kind == "no_session"
+	case http.StatusServiceUnavailable:
+		if unparseable {
+			return true // a 503 with no parseable kind: assume the node is going away
+		}
+		return eb.Kind == "draining"
 	}
-	return eb.Kind == "draining"
+	return false
 }
 
 func (g *Gateway) backoff(attempt int) {
@@ -338,9 +372,19 @@ type createResponse struct {
 
 func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
-	body, _ := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
 	if len(body) > 0 {
-		json.Unmarshal(body, &req)
+		// A malformed body must not fall through to random placement —
+		// the client asked for a routing key and silently losing it would
+		// defeat the co-location it wanted.
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+			return
+		}
 	}
 	g.mu.Lock()
 	g.nextID++
@@ -352,7 +396,7 @@ func (g *Gateway) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	s := &gwSession{id: id, key: key}
 	s.mu.Lock()
-	err := g.place(s)
+	err = g.place(s)
 	node := s.node.ID
 	s.mu.Unlock()
 	if err != nil {
@@ -380,7 +424,7 @@ func (g *Gateway) handleDestroy(w http.ResponseWriter, r *http.Request) {
 	delete(g.sessions, id)
 	g.mu.Unlock()
 	if s == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "no_session"})
 		return
 	}
 	s.mu.Lock()
@@ -396,7 +440,7 @@ func (g *Gateway) handleDestroy(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleEval(w http.ResponseWriter, r *http.Request) {
 	s := g.lookup(r.PathValue("id"))
 	if s == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "no_session"})
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
@@ -411,14 +455,21 @@ func (g *Gateway) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 	if status < 400 && definesFunction(body) {
 		s.mu.Lock()
-		s.appendLog(replayOp{method: "POST", suffix: "/eval", body: body})
+		g.appendLog(s, replayOp{method: "POST", suffix: "/eval", body: body})
 		s.mu.Unlock()
 	}
 	relay(w, status, raw)
 }
 
 // definesFunction reports whether an eval body's source (re)defines a
-// function — the ops worth replaying onto a failover node.
+// function — the ops worth replaying onto a failover node. The source
+// is parsed with the daemon's own parser, because a definition need
+// not lead the source: the grammar accepts statements and function
+// definitions mixed in one file, and leading comments are legal, so a
+// prefix check would silently drop such definitions from the replay
+// log. Only called on sources the backend already accepted, so a local
+// parse failure means grammar skew; fall back to the prefix heuristic
+// rather than losing the op.
 func definesFunction(body []byte) bool {
 	var req struct {
 		Src string `json:"src"`
@@ -426,29 +477,43 @@ func definesFunction(body []byte) bool {
 	if err := json.Unmarshal(body, &req); err != nil {
 		return false
 	}
-	return strings.HasPrefix(strings.TrimSpace(req.Src), "function")
+	file, err := parser.Parse(req.Src)
+	if err != nil {
+		return strings.HasPrefix(strings.TrimSpace(req.Src), "function")
+	}
+	return len(file.Funcs) > 0
 }
 
 // appendLog adds an op under s.mu, evicting the oldest eval op (never a
-// workspace binding) once the log exceeds maxReplayOps.
-func (s *gwSession) appendLog(op replayOp) {
+// workspace binding) once the log exceeds g.maxReplayOps. Every
+// eviction narrows what a failover can restore, so each one is counted
+// and logged — a session evicting steadily needs a bigger cap
+// (-max-replay-ops on majic-gate).
+func (g *Gateway) appendLog(s *gwSession, op replayOp) {
 	s.log = append(s.log, op)
-	if len(s.log) <= maxReplayOps {
+	if len(s.log) <= g.maxReplayOps {
 		return
 	}
+	dropped := false
 	for i, old := range s.log {
 		if old.method == "POST" {
 			s.log = append(s.log[:i:i], s.log[i+1:]...)
-			return
+			dropped = true
+			break
 		}
 	}
-	s.log = s.log[1:]
+	if !dropped {
+		s.log = s.log[1:]
+	}
+	g.stats.replayEvicted.Add(1)
+	g.logger.Warn("replay log full: oldest op evicted, failover will not restore it",
+		slog.String("session", s.id), slog.Int("max_replay_ops", g.maxReplayOps))
 }
 
 func (g *Gateway) handleWorkspaceGet(w http.ResponseWriter, r *http.Request) {
 	s := g.lookup(r.PathValue("id"))
 	if s == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "no_session"})
 		return
 	}
 	status, raw, err := g.forward(s, "GET", "/workspace/"+r.PathValue("name"), nil)
@@ -462,7 +527,7 @@ func (g *Gateway) handleWorkspaceGet(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleWorkspaceSet(w http.ResponseWriter, r *http.Request) {
 	s := g.lookup(r.PathValue("id"))
 	if s == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "no_session"})
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
@@ -489,7 +554,7 @@ func (g *Gateway) handleWorkspaceSet(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if !replaced {
-			s.appendLog(replayOp{method: "PUT", suffix: suffix, body: body})
+			g.appendLog(s, replayOp{method: "PUT", suffix: suffix, body: body})
 		}
 		s.mu.Unlock()
 	}
@@ -573,6 +638,7 @@ func (g *Gateway) Stats() GatewayStats {
 		Retries:         g.stats.retries.Load(),
 		Errors:          g.stats.errors.Load(),
 		ReplayedOps:     g.stats.replayedOps.Load(),
+		ReplayEvicted:   g.stats.replayEvicted.Load(),
 	}
 }
 
@@ -606,6 +672,7 @@ func (g *Gateway) collectTelemetry(emit func(telemetry.Sample)) {
 	counter(emit, "majic_gate_retries_total", "Forward attempts beyond the first.", float64(st.Retries))
 	counter(emit, "majic_gate_errors_total", "Requests that exhausted failover.", float64(st.Errors))
 	counter(emit, "majic_gate_replayed_ops_total", "Replay-log operations re-applied on failover.", float64(st.ReplayedOps))
+	counter(emit, "majic_gate_replay_evicted_total", "Defining ops evicted from full replay logs (lost to future failovers).", float64(st.ReplayEvicted))
 	ready := 0
 	for _, n := range g.health.Snapshot() {
 		if n.Ready {

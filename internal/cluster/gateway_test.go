@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -273,9 +274,12 @@ func TestGatewayFailsOverDeadNode(t *testing.T) {
 	}
 }
 
-// TestGatewaySaturatedIsNotFailover: admission pushback (503 kind
-// "saturated") is the backend's answer and must reach the client
-// unchanged rather than bouncing the session around the ring.
+// TestGatewaySaturatedIsNotFailover: a backend answer that isn't "the
+// session is gone" or "the node is going away" must reach the client
+// unchanged rather than bouncing the session around the ring —
+// admission pushback (503 "saturated"), program errors, and above all
+// a 404 for a missing workspace variable, which the daemon serves from
+// a perfectly live session.
 func TestGatewaySaturatedIsNotFailover(t *testing.T) {
 	if !failoverStatus(http.StatusServiceUnavailable, []byte(`{"error":"x","kind":"draining"}`)) {
 		t.Fatal("draining 503 must trigger failover")
@@ -283,10 +287,188 @@ func TestGatewaySaturatedIsNotFailover(t *testing.T) {
 	if failoverStatus(http.StatusServiceUnavailable, []byte(`{"error":"x","kind":"saturated"}`)) {
 		t.Fatal("saturated 503 must NOT trigger failover")
 	}
-	if !failoverStatus(http.StatusNotFound, nil) {
+	if !failoverStatus(http.StatusNotFound, []byte(`{"error":"unknown session","kind":"no_session"}`)) {
 		t.Fatal("a lost backend session must trigger failover")
+	}
+	if !failoverStatus(http.StatusNotFound, []byte(`{"error":"session closed","kind":"no_session"}`)) {
+		t.Fatal("a closed backend session must trigger failover")
+	}
+	if failoverStatus(http.StatusNotFound, []byte(`{"error":"no such variable","kind":"no_variable"}`)) {
+		t.Fatal("a missing workspace variable is the backend's answer, not a lost session")
+	}
+	if !failoverStatus(http.StatusNotFound, nil) {
+		t.Fatal("an unclassifiable 404 (not from a majicd session route) must trigger failover")
 	}
 	if failoverStatus(http.StatusUnprocessableEntity, nil) {
 		t.Fatal("program errors are answers, not failovers")
+	}
+}
+
+// TestGatewayMissingVariableRelays404: a workspace GET of a variable
+// the session never bound is guaranteed after a real failover
+// (non-logged computed state is not replayed) and must relay the
+// daemon's honest 404 — not abandon the live backend session and churn
+// the ring into a 502.
+func TestGatewayMissingVariableRelays404(t *testing.T) {
+	fleet := startNodes(t, "node-a", "node-b", "node-c")
+	gw, base := startGateway(t, fleet)
+
+	id, _ := gwCreate(t, base)
+	code, raw := gwDo(t, "GET", base+"/sessions/"+id+"/workspace/nope", nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("missing variable: %d %s, want 404", code, raw)
+	}
+	var eb struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(raw, &eb); err != nil || eb.Kind != "no_variable" {
+		t.Fatalf("missing variable body: %s (%v), want kind no_variable", raw, err)
+	}
+	if st := gw.Stats(); st.Failovers != 0 || st.Errors != 0 {
+		t.Fatalf("missing variable must not move or fail the session: %+v", st)
+	}
+	// The session survived the 404 untouched.
+	if code, _ := gwEval(t, base, id, "x = 1"); code != http.StatusOK {
+		t.Fatalf("eval after variable 404: %d", code)
+	}
+}
+
+// TestGatewayReleasesAbandonedBackendSession: when failover walks away
+// from a backend that still holds the session (503 draining — as
+// opposed to a 404, where there is nothing left to delete), the
+// abandoned backend session must be DELETEd, not leaked until idle
+// eviction.
+func TestGatewayReleasesAbandonedBackendSession(t *testing.T) {
+	type stub struct {
+		draining atomic.Bool
+		deleted  atomic.Int32
+		hs       *httptest.Server
+	}
+	mk := func() *stub {
+		st := &stub{}
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /sessions", func(w http.ResponseWriter, r *http.Request) {
+			if st.draining.Load() {
+				writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server shutting down", Kind: "draining"})
+				return
+			}
+			writeJSON(w, http.StatusCreated, map[string]string{"id": "b1"})
+		})
+		mux.HandleFunc("POST /sessions/{id}/eval", func(w http.ResponseWriter, r *http.Request) {
+			if st.draining.Load() {
+				writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "server shutting down", Kind: "draining"})
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]string{"output": "ok"})
+		})
+		mux.HandleFunc("DELETE /sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+			st.deleted.Add(1)
+			w.WriteHeader(http.StatusNoContent)
+		})
+		st.hs = httptest.NewServer(mux)
+		t.Cleanup(st.hs.Close)
+		return st
+	}
+	stubs := map[string]*stub{"node-a": mk(), "node-b": mk()}
+	nodes := []Node{
+		{ID: "node-a", Addr: stubs["node-a"].hs.URL},
+		{ID: "node-b", Addr: stubs["node-b"].hs.URL},
+	}
+	ring, err := NewRing(0, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := NewGateway(GatewayOptions{
+		Ring:   ring,
+		Health: NewHealth(nodes, time.Hour, nil),
+		Client: &http.Client{Timeout: 10 * time.Second},
+	})
+	hs := httptest.NewServer(gw.Handler())
+	t.Cleanup(hs.Close)
+
+	id, node := gwCreate(t, hs.URL)
+	stubs[node].draining.Store(true)
+	if code, _ := gwEval(t, hs.URL, id, "x = 1"); code != http.StatusOK {
+		t.Fatalf("eval must fail over off the draining node, got %d", code)
+	}
+	if st := gw.Stats(); st.Failovers != 1 {
+		t.Fatalf("failover not recorded: %+v", st)
+	}
+	if n := stubs[node].deleted.Load(); n != 1 {
+		t.Fatalf("abandoned backend session: %d DELETEs, want 1 (leak)", n)
+	}
+}
+
+// TestGatewayCreateRejectsMalformedBody: a create body that fails to
+// parse must be a 400, not a session silently routed by a random key
+// (which would defeat the co-location the client asked for).
+func TestGatewayCreateRejectsMalformedBody(t *testing.T) {
+	fleet := startNodes(t, "node-a")
+	_, base := startGateway(t, fleet)
+	resp, err := http.Post(base+"/sessions", "application/json", bytes.NewReader([]byte(`{"key": `)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed create body: %d, want 400", resp.StatusCode)
+	}
+	// A well-formed body still creates.
+	code, _ := gwDo(t, "POST", base+"/sessions", map[string]string{"key": "k"})
+	if code != http.StatusCreated {
+		t.Fatalf("valid create body: %d", code)
+	}
+}
+
+// TestDefinesFunction pins the replay-log trigger to the parser, not a
+// string prefix: definitions after statements or comments must be
+// logged, or they silently vanish from failover replays.
+func TestDefinesFunction(t *testing.T) {
+	mk := func(src string) []byte {
+		b, _ := json.Marshal(map[string]string{"src": src})
+		return b
+	}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"function y = f(x)\ny = x;\n", true},
+		{"x = 1;\nfunction y = f(x)\ny = x;\n", true},
+		{"% helper\nfunction y = f(x)\ny = x;\n", true},
+		{"x = 1", false},
+		{"y = functional(1)", false},
+	}
+	for _, c := range cases {
+		if got := definesFunction(mk(c.src)); got != c.want {
+			t.Errorf("definesFunction(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+	if definesFunction([]byte(`not json`)) {
+		t.Error("malformed body must not be logged")
+	}
+}
+
+// TestGatewayReplayEviction: overflowing the replay log evicts oldest
+// definitions first (never workspace bindings) and the loss is counted
+// — silence here would read as "failover restores everything".
+func TestGatewayReplayEviction(t *testing.T) {
+	g := NewGateway(GatewayOptions{MaxReplayOps: 2})
+	s := &gwSession{id: "t"}
+	g.appendLog(s, replayOp{method: "PUT", suffix: "/workspace/v"})
+	g.appendLog(s, replayOp{method: "POST", suffix: "/eval", body: []byte("f1")})
+	g.appendLog(s, replayOp{method: "POST", suffix: "/eval", body: []byte("f2")})
+	if st := g.Stats(); st.ReplayEvicted != 1 {
+		t.Fatalf("eviction not counted: %+v", st)
+	}
+	if len(s.log) != 2 || s.log[0].method != "PUT" || string(s.log[1].body) != "f2" {
+		t.Fatalf("eviction order wrong (want binding kept, oldest eval dropped): %+v", s.log)
+	}
+	// A log of only bindings still stays bounded.
+	s2 := &gwSession{id: "t2"}
+	for i := 0; i < 4; i++ {
+		g.appendLog(s2, replayOp{method: "PUT", suffix: fmt.Sprintf("/workspace/v%d", i)})
+	}
+	if len(s2.log) != 2 {
+		t.Fatalf("binding-only log unbounded: %d ops", len(s2.log))
 	}
 }

@@ -354,10 +354,16 @@ func (r *Replicator) antiEntropyRound() {
 			case !ok:
 				need = true // peer has never heard of the function
 			case d.SrcHash != rec.SrcHash:
-				// Peer has a different definition; push only if ours is
-				// newer — ApplyReplicated would refuse it anyway, and
-				// re-sending a stale record every round churns forever.
-				need = rec.DefTime > d.DefTime
+				// Peer has a different definition; push only if ours wins
+				// last-writer-wins — ApplyReplicated would refuse it
+				// anyway, and re-sending a losing record every round
+				// churns forever. Exact DefTime ties (clock granularity,
+				// skewed clocks stamping independently) break on the
+				// source hash, the same deterministic rule the receiver
+				// applies, so one definition wins fleet-wide instead of
+				// two nodes each politely waiting forever.
+				need = rec.DefTime > d.DefTime ||
+					(rec.DefTime == d.DefTime && rec.SrcHash > d.SrcHash)
 			case rec.Entry != nil:
 				need = !containsKey(d.Entries, rec.Entry.Sig.Key())
 			}

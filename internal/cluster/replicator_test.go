@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"testing"
 	"time"
+
+	"repro/internal/persist"
 )
 
 // nodeCreate opens a session directly on one daemon (no gateway).
@@ -88,6 +90,61 @@ func TestReplicatorPushWarmsPeer(t *testing.T) {
 	bm = b.srv.Metrics()
 	if bm.Repo.Inserts != 0 || bm.Repo.Hits < 1 {
 		t.Fatalf("peer call should hit the replica: %+v", bm.Repo)
+	}
+}
+
+// TestReplicatorAntiEntropyBreaksDefTimeTies: two nodes holding
+// different sources with identical DefTime stamps must not sit in a
+// silent stalemate (each refusing to push a not-strictly-newer record)
+// — the source-hash tie-break makes one definition win fleet-wide.
+func TestReplicatorAntiEntropyBreaksDefTimeTies(t *testing.T) {
+	fleet := startNodes(t, "node-a", "node-b")
+	a, b := fleet[0], fleet[1]
+
+	srcA := "function y = f(x)\ny = x + 1;\n"
+	srcB := "function y = f(x)\ny = x + 2;\n"
+	mkRec := func(src string) persist.EntryRecord {
+		return persist.EntryRecord{
+			Origin: "tie", Func: "f", Source: src,
+			SrcHash: persist.HashSource(src), DefTime: 42,
+		}
+	}
+	recA, recB := mkRec(srcA), mkRec(srcB)
+	if ok, why := a.srv.Library().ApplyReplicated(&recA); !ok {
+		t.Fatalf("seed node-a: %s", why)
+	}
+	if ok, why := b.srv.Library().ApplyReplicated(&recB); !ok {
+		t.Fatalf("seed node-b: %s", why)
+	}
+	winHash := persist.HashSource(srcA)
+	if persist.HashSource(srcB) > winHash {
+		winHash = persist.HashSource(srcB)
+	}
+
+	for _, pair := range []struct{ self, peer gwTestNode }{{a, b}, {b, a}} {
+		repl := NewReplicator(ReplicatorOptions{
+			NodeID:   pair.self.n.ID,
+			Lib:      pair.self.srv.Library(),
+			Peers:    []Node{pair.peer.n},
+			Interval: 100 * time.Millisecond,
+			Client:   &http.Client{Timeout: 5 * time.Second},
+		})
+		repl.Start()
+		defer repl.Close()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		da := a.srv.Library().ExportDigest()["f"]
+		db := b.srv.Library().ExportDigest()["f"]
+		if da.SrcHash == winHash && db.SrcHash == winHash {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tie never resolved: node-a %x node-b %x want %x",
+				da.SrcHash, db.SrcHash, winHash)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

@@ -460,8 +460,10 @@ func (l *Library) FlushPersistence() error {
 //
 // The staleness contract matches the warm-start loader: a record is
 // never trusted past its guards, an old definition can never clobber a
-// newer one (DefTime strictly-greater wins, so the local definition
-// wins ties), and the repository generation is captured under the
+// newer one (DefTime strictly-greater wins; an exact-stamp tie between
+// differing sources breaks deterministically on the source hash so the
+// fleet converges on one definition), and the repository generation is
+// captured under the
 // function-map lock so a local redefinition racing the apply drops the
 // entry rather than resurrecting code for dead source.
 func (l *Library) ApplyReplicated(rec *persist.EntryRecord) (bool, string) {
@@ -493,10 +495,15 @@ func (l *Library) ApplyReplicated(rec *persist.EntryRecord) (bool, string) {
 		if rec.DefTime > l.defTimes[rec.Func] {
 			l.defTimes[rec.Func] = rec.DefTime
 		}
-	} else if rec.DefTime > l.defTimes[rec.Func] {
+	} else if rec.DefTime > l.defTimes[rec.Func] ||
+		(rec.DefTime == l.defTimes[rec.Func] && rec.SrcHash > persist.HashSource(old.Source)) {
 		// Genuine remote redefinition: publish then invalidate, in the
 		// same order (and under the same lock) as a local register, so
 		// no engine can pair the new source with old-generation code.
+		// An exact DefTime tie between *different* sources (two nodes
+		// registering independently within clock granularity) breaks on
+		// the source hash — higher hash wins on every node, so the fleet
+		// converges on one definition instead of diverging permanently.
 		l.funcs[rec.Func] = fn
 		l.defTimes[rec.Func] = rec.DefTime
 		l.repo.Invalidate(rec.Func)

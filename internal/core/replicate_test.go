@@ -139,6 +139,41 @@ func TestApplyReplicatedLastWriterWins(t *testing.T) {
 	}
 }
 
+// TestApplyReplicatedDefTimeTieBreaks: two nodes registering different
+// sources with identical DefTime stamps (clock granularity, skewed
+// clocks) must still converge — the higher source hash wins
+// deterministically on every node, and the loser can never claw back.
+func TestApplyReplicatedDefTimeTieBreaks(t *testing.T) {
+	srcA := "function y = f(x)\ny = x + 1;\n"
+	srcB := "function y = f(x)\ny = x + 2;\n"
+	win, lose := srcA, srcB
+	if persist.HashSource(srcB) > persist.HashSource(srcA) {
+		win, lose = srcB, srcA
+	}
+	mkRec := func(src string) persist.EntryRecord {
+		return persist.EntryRecord{
+			Origin: "tie", Func: "f", Source: src,
+			SrcHash: persist.HashSource(src), DefTime: 42,
+		}
+	}
+
+	lib := NewLibrary(LibraryOptions{})
+	defer lib.Close()
+	loseRec, winRec := mkRec(lose), mkRec(win)
+	if ok, why := lib.ApplyReplicated(&loseRec); !ok || why != "source" {
+		t.Fatalf("seed loser: ok=%v why=%s", ok, why)
+	}
+	if ok, why := lib.ApplyReplicated(&winRec); !ok || why != "source" {
+		t.Fatalf("tie-stamped winner must be adopted: ok=%v why=%s", ok, why)
+	}
+	if ok, why := lib.ApplyReplicated(&loseRec); ok || why != "stale-definition" {
+		t.Fatalf("tie-stamped loser must stay refused: ok=%v why=%s", ok, why)
+	}
+	if d := lib.ExportDigest()["f"]; d.SrcHash != persist.HashSource(win) {
+		t.Fatalf("live source is not the tie-break winner: %+v", d)
+	}
+}
+
 // TestExportDigestConverges: after replication both nodes describe the
 // same state — the anti-entropy fixed point.
 func TestExportDigestConverges(t *testing.T) {

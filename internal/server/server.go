@@ -291,7 +291,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorBody struct {
 	Error string `json:"error"`
-	Kind  string `json:"kind,omitempty"` // "timeout" | "saturated" | "not_found" | ...
+	// Kind machine-classifies the error. Session-scoped 404s use
+	// "no_session" (unknown or closed session) while a missing workspace
+	// variable is "no_variable" — the cluster gateway fails a session
+	// over on the former and must relay the latter untouched.
+	Kind string `json:"kind,omitempty"` // "timeout" | "saturated" | "no_session" | "no_variable" | ...
 }
 
 // --- session lifecycle -------------------------------------------------------
@@ -332,7 +336,7 @@ func (s *Server) handleDestroy(w http.ResponseWriter, r *http.Request) {
 	delete(s.sessions, id)
 	s.mu.Unlock()
 	if sess == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "no_session"})
 		return
 	}
 	s.retire(sess)
@@ -410,7 +414,7 @@ type evalResponse struct {
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	sess := s.lookup(r.PathValue("id"))
 	if sess == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "no_session"})
 		return
 	}
 	var req evalRequest
@@ -459,7 +463,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("deadline exceeded after %s", deadline), Kind: "timeout",
 		})
 	case err == errSessionClosed:
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "session closed", Kind: "not_found"})
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "session closed", Kind: "no_session"})
 	case err != nil:
 		s.metrics.evalsErrors.Add(1)
 		writeJSON(w, http.StatusUnprocessableEntity, errorBody{Error: err.Error()})
@@ -471,12 +475,12 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleWorkspace(w http.ResponseWriter, r *http.Request) {
 	sess := s.lookup(r.PathValue("id"))
 	if sess == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "no_session"})
 		return
 	}
 	v, ok := sess.workspaceGet(r.PathValue("name"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such variable", Kind: "not_found"})
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such variable", Kind: "no_variable"})
 		return
 	}
 	writeJSON(w, http.StatusOK, v)
@@ -485,7 +489,7 @@ func (s *Server) handleWorkspace(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleWorkspaceSet(w http.ResponseWriter, r *http.Request) {
 	sess := s.lookup(r.PathValue("id"))
 	if sess == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "not_found"})
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown session", Kind: "no_session"})
 		return
 	}
 	var wv workspaceValue
@@ -495,7 +499,7 @@ func (s *Server) handleWorkspaceSet(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := sess.workspaceSet(r.PathValue("name"), &wv); err != nil {
 		if err == errSessionClosed {
-			writeJSON(w, http.StatusNotFound, errorBody{Error: "session closed", Kind: "not_found"})
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "session closed", Kind: "no_session"})
 			return
 		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
